@@ -1,0 +1,94 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (§5) as testing.B benchmarks — one per
+// experiment — printing the same rows the paper reports and timing a full
+// regeneration. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use a reduced scale (BenchScale / BenchInput below) so the
+// whole suite finishes in minutes; cmd/rapbench runs the full scale.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+const (
+	benchScale = 0.2
+	benchInput = 10000
+	benchSeed  = 1
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: benchScale, Seed: benchSeed, InputLen: benchInput}
+}
+
+// printOnce prints each experiment's table a single time across bench
+// iterations so -bench output stays readable.
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	var last *metrics.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(name, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if _, done := printOnce.LoadOrStore(name, true); !done && last != nil {
+		fmt.Printf("\n%s\n", last.String())
+	}
+	b.ReportMetric(float64(len(last.Rows)), "rows")
+}
+
+// BenchmarkFig1 regenerates Figure 1 (regex model proportions per
+// benchmark).
+func BenchmarkFig1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig10a regenerates Figure 10(a) (NBVA depth design-space
+// exploration).
+func BenchmarkFig10a(b *testing.B) { runExperiment(b, "fig10a") }
+
+// BenchmarkFig10b regenerates Figure 10(b) (LNFA bin-size design-space
+// exploration).
+func BenchmarkFig10b(b *testing.B) { runExperiment(b, "fig10b") }
+
+// BenchmarkTable2 regenerates Table 2 (NBVA mode of RAP vs NFA mode,
+// CAMA, BVAP and CA).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3 (LNFA mode of RAP vs NFA mode,
+// CAMA, BVAP and CA).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig11 regenerates Figure 11 (per-mode share of STEs, energy
+// and area).
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12 (overall comparison of RAP against
+// BVAP, CAMA and CA).
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13 (RAP vs GPU and CPU solutions;
+// the CPU column measures the in-repo software matcher on this host).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkTable4 regenerates Table 4 (RAP vs the hAP FPGA design on
+// ANMLZoo).
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkAblation runs the extra ablations (buffering models, mode
+// removal, unfolding-threshold sweep) that quantify DESIGN.md's design
+// choices beyond the paper's own DSE.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkFlows runs the flow-multiplexing context-switch analysis (the
+// cost of relaxing the paper's single-flow assumption).
+func BenchmarkFlows(b *testing.B) { runExperiment(b, "flows") }

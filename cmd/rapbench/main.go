@@ -1,0 +1,51 @@
+// Command rapbench regenerates the paper's evaluation tables and figures
+// (§5) on the synthetic workloads. It mirrors the artifact's
+// main_gap.py interface:
+//
+//	rapbench -exp table2                 # one experiment
+//	rapbench -exp all -out ./result      # everything, with CSV outputs
+//	rapbench -exp fig12 -scale 0.5 -input 50000
+//
+// Experiments: fig1, fig10a, fig10b, table2, table3, fig11, fig12, fig13,
+// table4, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(experiments.Names, ", ")+", or all")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (pattern count multiplier)")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	inputLen := flag.Int("input", 100000, "input stream length in characters")
+	out := flag.String("out", "", "directory for CSV outputs (optional)")
+	parallel := flag.Bool("parallel", true, "run per-dataset work concurrently")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, InputLen: *inputLen, OutDir: *out, Parallel: *parallel}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names
+	}
+	for _, name := range names {
+		start := time.Now()
+		t, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+	if *out != "" {
+		fmt.Printf("CSV outputs written to %s\n", *out)
+	}
+}

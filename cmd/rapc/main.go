@@ -1,0 +1,183 @@
+// Command rapc is the regex-to-hardware compiler front end: it reads
+// patterns (one per line from files or arguments), runs the Fig 9
+// decision graph and the mapper, and prints the chosen mode, resource
+// usage and placement summary per pattern.
+//
+//	rapc 'ab{10,48}c' 'abcdef' 'a(b|c)*d'
+//	rapc -f rules.txt -depth 16 -bin 8 -v
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/mnrl"
+	"repro/internal/regexast"
+	"repro/internal/sim"
+)
+
+func main() {
+	file := flag.String("f", "", "read patterns from file (one per line, # comments)")
+	depth := flag.Int("depth", 8, "NBVA bit-vector depth (4, 8, 16, 32)")
+	bin := flag.Int("bin", 8, "LNFA bin size (1..32)")
+	threshold := flag.Int("threshold", 16, "bounded-repetition unfolding threshold")
+	verbose := flag.Bool("v", false, "print per-pattern decision trails")
+	analyze := flag.Bool("analyze", false, "estimate per-pattern DFA size (capped subset construction)")
+	mnrlOut := flag.String("mnrl", "", "export the basic-NFA forms as an MNRL file")
+	floorplan := flag.Bool("floorplan", false, "print the ASCII tile floor plan of the placement")
+	bitstreamOut := flag.String("bitstream", "", "write the deployment configuration image to a file")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			patterns = append(patterns, line)
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	if len(patterns) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rapc [flags] pattern...   (or -f file)")
+		os.Exit(2)
+	}
+
+	res := compile.Compile(patterns, compile.Options{UnfoldThreshold: *threshold})
+	t := &metrics.Table{
+		Name:   "Compilation",
+		Header: []string{"#", "Pattern", "Mode", "STEs", "BV bits", "Unfolded"},
+	}
+	if *analyze {
+		t.Header = append(t.Header, "DFA states")
+	}
+	for i := range res.Regexes {
+		c := &res.Regexes[i]
+		if c.Source == "" {
+			cells := []interface{}{i, patterns[i], "ERROR", "-", "-", "-"}
+			if *analyze {
+				cells = append(cells, "-")
+			}
+			t.AddRow(cells...)
+			continue
+		}
+		cells := []interface{}{i, truncate(c.Source, 40), c.Mode.String(), c.STEs, c.BVBits, c.UnfoldedSTEs}
+		if *analyze {
+			cells = append(cells, dfaCell(c.Source))
+		}
+		t.AddRow(cells...)
+		if *verbose {
+			fmt.Printf("  #%d: %s\n", i, c.DecisionTrail)
+		}
+	}
+	fmt.Println(t.String())
+	if *mnrlOut != "" {
+		if err := exportMNRL(*mnrlOut, patterns); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("MNRL export: %s\n", *mnrlOut)
+	}
+	for _, err := range res.Errors {
+		fmt.Fprintf(os.Stderr, "rapc: %v\n", err)
+	}
+
+	p, err := mapper.Map(res, mapper.Options{Depth: *depth, BinSize: *bin})
+	if err != nil {
+		fatal(err)
+	}
+	area := sim.RAPArea(p)
+	fmt.Printf("Placement: %d arrays, %d tiles, %d banks, %.4f mm² (depth %d, bin %d)\n",
+		len(p.Arrays), p.TilesUsed(), p.Banks(), area.TotalMM2(), *depth, *bin)
+	if *floorplan {
+		fmt.Println()
+		fmt.Print(p.Floorplan())
+	}
+	if *bitstreamOut != "" {
+		img, err := bitstream.Build(res, p)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := img.MarshalBinary()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*bitstreamOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		st := img.Summarize()
+		fmt.Printf("Bitstream: %s (%d bytes; %d CC cols, %d BV cols, %d local dots, %d global dots)\n",
+			*bitstreamOut, st.SizeBytes, st.CCColumns, st.BVColumns, st.SwitchDots, st.GlobalDots)
+	}
+	shares := res.ModeShares()
+	fmt.Printf("Mode shares: NFA %.0f%%, NBVA %.0f%%, LNFA %.0f%%\n",
+		100*shares[compile.ModeNFA], 100*shares[compile.ModeNBVA], 100*shares[compile.ModeLNFA])
+}
+
+// dfaCell estimates the DFA size of one pattern (capped), the §2.1
+// blowup the NFA/NBVA execution avoids.
+func dfaCell(pattern string) string {
+	re, err := regexast.Parse(pattern)
+	if err != nil {
+		return "-"
+	}
+	nfa, err := automata.Glushkov(re, 0)
+	if err != nil {
+		return ">cap"
+	}
+	res := automata.DFASize(nfa, 50000)
+	if res.Capped {
+		return fmt.Sprintf(">%d", res.States)
+	}
+	return fmt.Sprintf("%d", res.States)
+}
+
+// exportMNRL writes the basic-NFA form of every pattern as MNRL.
+func exportMNRL(path string, patterns []string) error {
+	f := &mnrl.File{}
+	for _, p := range patterns {
+		re, err := regexast.Parse(p)
+		if err != nil {
+			return err
+		}
+		nfa, err := automata.Glushkov(re, 0)
+		if err != nil {
+			return fmt.Errorf("%q: %w", p, err)
+		}
+		f.Networks = append(f.Networks, mnrl.FromNFA(p, nfa))
+	}
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return mnrl.Write(w, f)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "RAP: Reconfigurable
+// Automata Processor" (ISCA 2025): the compiler, the three automata
+// execution models (NFA, NBVA, LNFA), the cycle-level hardware simulator
+// with its CAMA / CA / BVAP baselines, synthetic stand-ins for the seven
+// evaluation benchmarks, and a harness regenerating every table and
+// figure of the paper's evaluation.
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory
+// and substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+// The public engine API lives in internal/core; the experiment harness in
+// internal/experiments; the command-line tools under cmd/.
+//
+// This root package contains only the repository-level benchmark suite
+// (bench_test.go): one testing.B benchmark per paper table/figure.
+package repro

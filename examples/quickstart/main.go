@@ -1,0 +1,62 @@
+// Quickstart: compile a handful of regexes with the RAP engine, stream an
+// input through the modeled hardware, and print what the compiler decided
+// and what the hardware would cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+)
+
+func main() {
+	patterns := []string{
+		"needle",           // a plain string: Shift-And on the CAM (LNFA mode)
+		"na{20,40}b",       // a large bounded repetition: bit vectors (NBVA mode)
+		"x(y|z)*w",         // Kleene structure: classical NFA mode
+		"GET /[a-z]+ HTTP", // something network-flavored
+	}
+	input := []byte("haystack with a needle, an n" +
+		"aaaaaaaaaaaaaaaaaaaaaaaaab burst, xyzyzw, and GET /index HTTP")
+
+	eng := core.NewDefault()
+	prog, err := eng.Compile(patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Compilation (Fig 9 decision graph):")
+	for i := range prog.Result.Regexes {
+		c := &prog.Result.Regexes[i]
+		fmt.Printf("  %-20q -> %-4s  (%d STEs", c.Source, c.Mode, c.STEs)
+		if c.Mode == compile.ModeNBVA {
+			fmt.Printf(", %d BV bits, %d states if unfolded", c.BVBits, c.UnfoldedSTEs)
+		}
+		fmt.Println(")")
+	}
+	fmt.Printf("Placement: %d arrays, %.4f mm²\n\n", len(prog.Placement.Arrays), prog.AreaMM2())
+
+	rep, err := eng.Run(prog, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Cycle-level simulation:")
+	fmt.Printf("  %s\n\n", rep)
+
+	// The same patterns through the pure-software reference matcher.
+	matches, err := eng.Match(patterns, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Software reference matches (pattern -> end offset):")
+	for _, m := range matches {
+		fmt.Printf("  %q ends at %d\n", patterns[m.Pattern], m.End)
+	}
+	if int64(len(matches)) == rep.Matches {
+		fmt.Println("hardware and software agree ✓")
+	}
+}

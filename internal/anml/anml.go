@@ -1,0 +1,202 @@
+// Package anml reads and writes ANML, the Automata Network Markup
+// Language of the Micron Automata Processor SDK (the format ANMLZoo [46]
+// distributes its benchmarks in, and the lingua franca of AP-ecosystem
+// tools like VASim). Like internal/mnrl, it covers the homogeneous
+// state-transition-element subset that AP-style hardware executes, and
+// converts losslessly to and from internal/automata's NFAs.
+//
+//	<anml version="1.0">
+//	  <automata-network id="net0">
+//	    <state-transition-element id="q0" symbol-set="[ab]" start="all-input">
+//	      <activate-on-match element="q1"/>
+//	    </state-transition-element>
+//	    <state-transition-element id="q1" symbol-set="c">
+//	      <report-on-match/>
+//	    </state-transition-element>
+//	  </automata-network>
+//	</anml>
+package anml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+)
+
+// Start modes of an STE.
+const (
+	StartNone     = ""
+	StartAllInput = "all-input"
+	StartOfData   = "start-of-data"
+)
+
+// Document is the root <anml> element.
+type Document struct {
+	XMLName  xml.Name  `xml:"anml"`
+	Version  string    `xml:"version,attr"`
+	Networks []Network `xml:"automata-network"`
+}
+
+// Network is one <automata-network>.
+type Network struct {
+	ID   string `xml:"id,attr"`
+	STEs []STE  `xml:"state-transition-element"`
+}
+
+// STE is one <state-transition-element>.
+type STE struct {
+	ID        string     `xml:"id,attr"`
+	SymbolSet string     `xml:"symbol-set,attr"`
+	Start     string     `xml:"start,attr,omitempty"`
+	Activate  []Activate `xml:"activate-on-match"`
+	Report    *Report    `xml:"report-on-match"`
+}
+
+// Activate is an <activate-on-match element="..."/> edge.
+type Activate struct {
+	Element string `xml:"element,attr"`
+}
+
+// Report marks a reporting STE.
+type Report struct {
+	ReportCode string `xml:"reportcode,attr,omitempty"`
+}
+
+// FromNFA converts a homogeneous NFA into an ANML network.
+func FromNFA(id string, nfa *automata.NFA) Network {
+	net := Network{ID: id}
+	initials := map[int]bool{}
+	for _, q := range nfa.Initial {
+		initials[q] = true
+	}
+	finals := map[int]bool{}
+	for _, q := range nfa.Final {
+		finals[q] = true
+	}
+	for i, s := range nfa.States {
+		ste := STE{
+			ID:        fmt.Sprintf("q%d", i),
+			SymbolSet: s.Class.String(),
+		}
+		if initials[i] {
+			if nfa.StartAnchored {
+				ste.Start = StartOfData
+			} else {
+				ste.Start = StartAllInput
+			}
+		}
+		for _, succ := range s.Follow {
+			ste.Activate = append(ste.Activate, Activate{Element: fmt.Sprintf("q%d", succ)})
+		}
+		if finals[i] {
+			ste.Report = &Report{}
+		}
+		net.STEs = append(net.STEs, ste)
+	}
+	return net
+}
+
+// ToNFA converts an ANML network back into a homogeneous NFA.
+func (net *Network) ToNFA() (*automata.NFA, error) {
+	index := map[string]int{}
+	for i, s := range net.STEs {
+		if _, dup := index[s.ID]; dup {
+			return nil, fmt.Errorf("anml: duplicate STE id %q", s.ID)
+		}
+		index[s.ID] = i
+	}
+	nfa := &automata.NFA{States: make([]automata.State, len(net.STEs))}
+	for i, s := range net.STEs {
+		cls, err := parseSymbolSet(s.SymbolSet)
+		if err != nil {
+			return nil, fmt.Errorf("anml: STE %s: %w", s.ID, err)
+		}
+		var follow []int
+		for _, a := range s.Activate {
+			q, ok := index[a.Element]
+			if !ok {
+				return nil, fmt.Errorf("anml: STE %s activates unknown %q", s.ID, a.Element)
+			}
+			follow = append(follow, q)
+		}
+		sort.Ints(follow)
+		nfa.States[i] = automata.State{Class: cls, Follow: follow}
+		switch s.Start {
+		case StartAllInput:
+			nfa.Initial = append(nfa.Initial, i)
+		case StartOfData:
+			nfa.Initial = append(nfa.Initial, i)
+			nfa.StartAnchored = true
+		case StartNone:
+		default:
+			return nil, fmt.Errorf("anml: STE %s: unsupported start mode %q", s.ID, s.Start)
+		}
+		if s.Report != nil {
+			nfa.Final = append(nfa.Final, i)
+		}
+	}
+	if len(nfa.Final) == 0 {
+		return nil, fmt.Errorf("anml: network %s has no reporting STE", net.ID)
+	}
+	return nfa, nil
+}
+
+// parseSymbolSet accepts the forms FromNFA emits: '.', a bracket
+// expression, or a (possibly escaped) single literal.
+func parseSymbolSet(s string) (charclass.Class, error) {
+	if s == "" {
+		return charclass.Class{}, fmt.Errorf("empty symbol-set")
+	}
+	if s == "." {
+		return charclass.Any(), nil
+	}
+	if s[0] == '[' && s[len(s)-1] == ']' {
+		c, n, err := charclass.ParseClassBody(s[1:])
+		if err != nil {
+			return charclass.Class{}, err
+		}
+		if n != len(s)-2 {
+			return charclass.Class{}, fmt.Errorf("trailing junk in symbol-set %q", s)
+		}
+		return c, nil
+	}
+	c, n, err := charclass.ParseClassBody(s + "]")
+	if err != nil || n != len(s) {
+		return charclass.Class{}, fmt.Errorf("bad symbol-set %q", s)
+	}
+	if c.Count() != 1 && s[0] != '\\' {
+		return charclass.Class{}, fmt.Errorf("unsupported symbol-set %q", s)
+	}
+	return c, nil
+}
+
+// Write serializes a document as indented XML with a header.
+func Write(w io.Writer, doc *Document) error {
+	if doc.Version == "" {
+		doc.Version = "1.0"
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Read parses a document.
+func Read(r io.Reader) (*Document, error) {
+	var doc Document
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	return &doc, nil
+}

@@ -1,0 +1,129 @@
+package anml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/regexast"
+)
+
+func nfaOf(t *testing.T, pattern string) *automata.NFA {
+	t.Helper()
+	nfa, err := automata.Glushkov(regexast.MustParse(pattern), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nfa
+}
+
+func TestFromNFAShape(t *testing.T) {
+	net := FromNFA("ex", nfaOf(t, "a([bc]|b.*d)"))
+	if len(net.STEs) != 5 {
+		t.Fatalf("STEs = %d", len(net.STEs))
+	}
+	if net.STEs[0].Start != StartAllInput {
+		t.Errorf("q0 start = %q", net.STEs[0].Start)
+	}
+	reports := 0
+	for _, s := range net.STEs {
+		if s.Report != nil {
+			reports++
+		}
+	}
+	if reports != 2 {
+		t.Errorf("reporting STEs = %d", reports)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	doc := &Document{}
+	patterns := []string{"abc", "a(b|c)*d", "[a-z]x\\d", "^start"}
+	for _, p := range patterns {
+		doc.Networks = append(doc.Networks, FromNFA(p, nfaOf(t, p)))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<anml version=\"1.0\">") {
+		t.Errorf("missing root element:\n%s", buf.String())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Networks) != len(patterns) {
+		t.Fatalf("networks = %d", len(back.Networks))
+	}
+	r := rand.New(rand.NewSource(3))
+	for i, p := range patterns {
+		orig := nfaOf(t, p)
+		got, err := back.Networks[i].ToNFA()
+		if err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		if got.StartAnchored != orig.StartAnchored {
+			t.Errorf("%q: anchoring changed", p)
+		}
+		for rep := 0; rep < 40; rep++ {
+			input := make([]byte, r.Intn(20))
+			for k := range input {
+				input[k] = byte("abcdxz19"[r.Intn(8)])
+			}
+			if orig.Matches(input) != got.Matches(input) {
+				t.Fatalf("%q input %q: behaviour changed", p, input)
+			}
+		}
+	}
+}
+
+func TestToNFAErrors(t *testing.T) {
+	cases := []Network{
+		{ID: "dup", STEs: []STE{
+			{ID: "a", SymbolSet: "x", Start: StartAllInput, Report: &Report{}},
+			{ID: "a", SymbolSet: "y"},
+		}},
+		{ID: "badref", STEs: []STE{
+			{ID: "a", SymbolSet: "x", Start: StartAllInput, Report: &Report{},
+				Activate: []Activate{{Element: "nope"}}},
+		}},
+		{ID: "badstart", STEs: []STE{
+			{ID: "a", SymbolSet: "x", Start: "sometimes", Report: &Report{}},
+		}},
+		{ID: "noreport", STEs: []STE{
+			{ID: "a", SymbolSet: "x", Start: StartAllInput},
+		}},
+		{ID: "badsymbol", STEs: []STE{
+			{ID: "a", SymbolSet: "", Start: StartAllInput, Report: &Report{}},
+		}},
+	}
+	for _, net := range cases {
+		if _, err := net.ToNFA(); err == nil {
+			t.Errorf("network %s: expected error", net.ID)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("<not-xml")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSymbolSetForms(t *testing.T) {
+	good := []string{".", "a", "\\n", "\\x41", "[a-z]", "[^ab]", "\\d", "\\."}
+	for _, s := range good {
+		if _, err := parseSymbolSet(s); err != nil {
+			t.Errorf("parseSymbolSet(%q): %v", s, err)
+		}
+	}
+	bad := []string{"", "ab", "[a-z"}
+	for _, s := range bad {
+		if _, err := parseSymbolSet(s); err == nil {
+			t.Errorf("parseSymbolSet(%q): expected error", s)
+		}
+	}
+}

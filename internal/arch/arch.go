@@ -1,0 +1,244 @@
+// Package arch defines the RAP hardware geometry (§3.3, Fig 8) — the
+// bank / array / tile hierarchy and per-mode capacity rules — plus the
+// placement plan types shared between the mapper (which produces them)
+// and the cycle-level simulator (which executes them).
+package arch
+
+import "repro/internal/nbva"
+
+// Geometry of the RAP hierarchy (§3.3).
+const (
+	// TileSTEs is the number of STE columns per tile: the CAM is 32×128
+	// and the local switch 128×128.
+	TileSTEs = 128
+	// CAMRows is the number of CAM rows = bits per stored CAM code; also
+	// the number of rows available per column for bit-vector storage.
+	CAMRows = 32
+	// TilesPerArray tiles share one 256×256 global switch.
+	TilesPerArray = 16
+	// ArraysPerBank arrays share the bank I/O buffers.
+	ArraysPerBank = 4
+	// GlobalPortsPerTile STEs per tile can route through the global
+	// switch (256 ports / 16 tiles ... the paper states 32).
+	GlobalPortsPerTile = 32
+	// ArraySTECapacity bounds a single regex in NFA/LNFA mode (§3.3:
+	// "RAP can support regexes with up to 2048 STEs").
+	ArraySTECapacity = TileSTEs * TilesPerArray
+	// MaxBVBitsPerBV is the largest single bit vector (§3.3: 4064 bits =
+	// 127 columns × 32 rows, one column left for the character class).
+	MaxBVBitsPerBV = (TileSTEs - 1) * CAMRows
+	// MaxNBVAUnfolded is the largest regex supported after unfolding in
+	// NBVA mode (§3.3).
+	MaxNBVAUnfolded = 64528
+	// MaxBinSize is the largest number of LNFAs per bin (§3.3, from DSE).
+	MaxBinSize = 32
+	// RingWidthBits is the LNFA ring-routing width (§3.3).
+	RingWidthBits = 64
+	// SwitchLNFASlots is the number of one-hot-encoded CCs the local
+	// switch stores in LNFA mode: each 256-bit one-hot code occupies two
+	// 128-bit switch columns (§3.2).
+	SwitchLNFASlots = TileSTEs / 2
+	// TileLNFASlots is the total LNFA state capacity of a tile: CAM
+	// columns (single-32-bit-code CCs) plus switch slots (one-hot CCs).
+	TileLNFASlots = TileSTEs + SwitchLNFASlots
+
+	// Bank I/O buffering (§3.3).
+	BankInputBufferEntries  = 128
+	ArrayInputFIFOEntries   = 8
+	BankOutputBufferEntries = 64
+	ArrayOutputFIFOEntries  = 2
+)
+
+// BVDepths are the depths explored by the design space exploration
+// (§5.3). The depth is the number of CAM rows a bit vector spans; the
+// bit-vector-processing phase takes depth cycles.
+var BVDepths = []int{4, 8, 16, 32}
+
+// BinSizes are the LNFA bin sizes explored by the DSE (§5.3).
+var BinSizes = []int{1, 2, 4, 8, 16, 32}
+
+// BVWidth returns the number of CAM columns a bit vector of the given
+// size occupies at the given depth (§3.1: minimal contiguous columns).
+func BVWidth(size, depth int) int {
+	if size <= 0 {
+		return 0
+	}
+	return (size + depth - 1) / depth
+}
+
+// BVAlloc describes one placed bit vector.
+type BVAlloc struct {
+	Regex int // compiled regex index
+	STE   int // machine state index within the regex's NBVA
+	Size  int
+	Width int
+	Depth int
+	Read  nbva.ReadAction
+}
+
+// TilePlan is the configuration of one tile produced by the mapper.
+type TilePlan struct {
+	// CCColumns is the number of CAM columns storing character classes
+	// (every mode).
+	CCColumns int
+	// InitColumns is the number of columns holding set1 initial vectors
+	// (NBVA mode).
+	InitColumns int
+	// BVColumns is the number of CAM columns repurposed as bit-vector
+	// storage (NBVA mode).
+	BVColumns int
+	// BVs lists the bit vectors stored in this tile.
+	BVs []BVAlloc
+	// ReadKind is the read action of this tile's BVs; r and rAll never
+	// share a tile (§4.1).
+	ReadKind nbva.ReadAction
+	// HasBV reports whether any BV is stored here.
+	HasBV bool
+
+	// LNFA mode occupancy.
+	CAMSlots    int  // states stored as CAM codes
+	SwitchSlots int  // states stored one-hot in the local switch
+	HasInitial  bool // holds at least one LNFA initial state (binning)
+
+	// Regexes (compiled indices) with at least one state in this tile.
+	Regexes []int
+}
+
+// Columns returns the total CAM columns used in NBVA/NFA mode.
+func (t *TilePlan) Columns() int { return t.CCColumns + t.InitColumns + t.BVColumns }
+
+// LNFAUsed returns the LNFA slots used.
+func (t *TilePlan) LNFAUsed() int { return t.CAMSlots + t.SwitchSlots }
+
+// Mode mirrors compile.Mode without importing it (avoiding a cycle);
+// values match compile.Mode.
+type Mode int
+
+const (
+	ModeNFA Mode = iota
+	ModeNBVA
+	ModeLNFA
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNBVA:
+		return "NBVA"
+	case ModeLNFA:
+		return "LNFA"
+	default:
+		return "NFA"
+	}
+}
+
+// BinPlan is one LNFA bin (§3.2): up to MaxBinSize sequences mapped
+// regex-sliced across a run of tiles, with all initial states in the
+// first tile. Bins with the same member count share tile structure
+// ("each tile can only support bins with an identical number of LNFAs"),
+// so a bin may start mid-tile at StartOffset.
+type BinPlan struct {
+	// Seqs identifies the member sequences as (regex index, sequence
+	// index) pairs.
+	Seqs [][2]int
+	// PaddedLen is the per-member state budget (the longest member).
+	PaddedLen int
+	// Tiles are the array-local tile indices the bin occupies, in order.
+	Tiles []int
+	// StartOffset is the depth position within the first tile's regions
+	// where this bin's slices begin (0 when the bin starts a fresh tile).
+	StartOffset int
+	// CAMMapped is true when members use single-code CAM mapping; false
+	// means one-hot local-switch mapping.
+	CAMMapped bool
+	// PaddingWaste is the number of unused padded state slots.
+	PaddingWaste int
+}
+
+// ArrayPlan is the configuration of one array. Arrays are homogeneous in
+// mode (§4.3: the mapper determines the mode of each RAP array).
+type ArrayPlan struct {
+	Mode    Mode
+	Tiles   []TilePlan
+	Regexes []int // compiled regex indices mapped to this array
+
+	// NFA mode: number of follow edges that cross tile boundaries and
+	// therefore use the global switch.
+	CrossTileEdges int
+	// NBVA mode: uniform BV depth of this array's tiles.
+	Depth int
+	// LNFA mode: the bins in this array.
+	Bins []BinPlan
+
+	// StateTile maps, for the simulator, every (regex, state) to its
+	// tile index; filled by the mapper. Key packs regex index and state:
+	// regex*1e6 + state is avoided in favor of a struct key.
+	StateTile map[StateRef]int
+}
+
+// StateRef identifies one automaton state of one compiled regex.
+type StateRef struct {
+	Regex int // compiled regex index
+	State int // state index within that regex's automaton / sequence pack
+}
+
+// TilesUsed returns the number of tiles with any occupancy.
+func (a *ArrayPlan) TilesUsed() int {
+	n := 0
+	for i := range a.Tiles {
+		t := &a.Tiles[i]
+		if t.Columns() > 0 || t.LNFAUsed() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Placement is a full mapping of a compiled pattern set onto arrays.
+type Placement struct {
+	Arrays []ArrayPlan
+}
+
+// TilesUsed returns the total tiles used across arrays.
+func (p *Placement) TilesUsed() int {
+	n := 0
+	for i := range p.Arrays {
+		n += p.Arrays[i].TilesUsed()
+	}
+	return n
+}
+
+// Banks returns the number of banks needed.
+func (p *Placement) Banks() int {
+	return (len(p.Arrays) + ArraysPerBank - 1) / ArraysPerBank
+}
+
+// Utilization returns the fraction of provisioned hardware resources the
+// placement actually uses, over used tiles: CAM columns for NFA/NBVA
+// tiles, and each LNFA resource (CAM slots, switch slots) counted when
+// the tile hosts that resource kind. The mapper targets the paper's §4.3
+// ">90% average utilization".
+func (p *Placement) Utilization() float64 {
+	used, provisioned := 0, 0
+	for ai := range p.Arrays {
+		a := &p.Arrays[ai]
+		for ti := range a.Tiles {
+			t := &a.Tiles[ti]
+			if cols := t.Columns(); cols > 0 {
+				used += cols
+				provisioned += TileSTEs
+			}
+			if t.CAMSlots > 0 {
+				used += t.CAMSlots
+				provisioned += TileSTEs
+			}
+			if t.SwitchSlots > 0 {
+				used += t.SwitchSlots
+				provisioned += SwitchLNFASlots
+			}
+		}
+	}
+	if provisioned == 0 {
+		return 0
+	}
+	return float64(used) / float64(provisioned)
+}

@@ -1,0 +1,99 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	// §3.3 invariants.
+	if ArraySTECapacity != 2048 {
+		t.Errorf("array capacity = %d", ArraySTECapacity)
+	}
+	if MaxBVBitsPerBV != 4064 {
+		t.Errorf("max BV = %d", MaxBVBitsPerBV)
+	}
+	if TileLNFASlots != 192 {
+		t.Errorf("LNFA slots = %d", TileLNFASlots)
+	}
+	if MaxNBVAUnfolded != 64528 {
+		t.Errorf("NBVA max = %d", MaxNBVAUnfolded)
+	}
+}
+
+func TestBVWidthRounding(t *testing.T) {
+	cases := []struct{ size, depth, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2},
+		{1024, 4, 256}, {128, 32, 4}, {7, 4, 2},
+	}
+	for _, c := range cases {
+		if got := BVWidth(c.size, c.depth); got != c.want {
+			t.Errorf("BVWidth(%d,%d) = %d, want %d", c.size, c.depth, got, c.want)
+		}
+	}
+}
+
+func TestTilePlanAccessors(t *testing.T) {
+	tp := TilePlan{CCColumns: 3, InitColumns: 1, BVColumns: 25, CAMSlots: 10, SwitchSlots: 5}
+	if tp.Columns() != 29 {
+		t.Errorf("Columns = %d", tp.Columns())
+	}
+	if tp.LNFAUsed() != 15 {
+		t.Errorf("LNFAUsed = %d", tp.LNFAUsed())
+	}
+}
+
+func TestPlacementCounts(t *testing.T) {
+	p := Placement{Arrays: []ArrayPlan{
+		{Tiles: []TilePlan{{CCColumns: 1}, {}, {CAMSlots: 2}}},
+		{Tiles: []TilePlan{{}}},
+	}}
+	if p.TilesUsed() != 2 {
+		t.Errorf("TilesUsed = %d", p.TilesUsed())
+	}
+	if p.Banks() != 1 {
+		t.Errorf("Banks = %d", p.Banks())
+	}
+	p5 := Placement{Arrays: make([]ArrayPlan, 5)}
+	if p5.Banks() != 2 {
+		t.Errorf("Banks(5 arrays) = %d", p5.Banks())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeNFA.String() != "NFA" || ModeNBVA.String() != "NBVA" || ModeLNFA.String() != "LNFA" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := Placement{Arrays: []ArrayPlan{{Tiles: []TilePlan{
+		{CCColumns: 64},   // NFA half-full: 64/128
+		{CAMSlots: 128},   // LNFA CAM full: 128/128
+		{SwitchSlots: 32}, // LNFA switch half-full: 32/64
+		{},                // unused: not counted
+	}}}}
+	got := p.Utilization()
+	want := float64(64+128+32) / float64(128+128+64)
+	if got != want {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+	empty := Placement{}
+	if empty.Utilization() != 0 {
+		t.Error("empty placement utilization should be 0")
+	}
+}
+
+func TestFloorplan(t *testing.T) {
+	p := Placement{Arrays: []ArrayPlan{
+		{Mode: ModeNFA, Tiles: []TilePlan{{CCColumns: 111}, {}}},
+		{Mode: ModeNBVA, Depth: 8, Tiles: []TilePlan{{CCColumns: 4, InitColumns: 1, BVColumns: 60, HasBV: true}}},
+		{Mode: ModeLNFA, Tiles: []TilePlan{{CAMSlots: 128, SwitchSlots: 32, HasInitial: true}}},
+	}}
+	s := p.Floorplan()
+	for _, want := range []string{"[N  86%]", "[  --  ]", "[B  50%]", "[L* 83%]", "depth 8", "cross-tile"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("floorplan missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Floorplan renders a placement as an ASCII floor plan, one row per
+// array, one cell per tile. Each cell shows the tile's mode and fill:
+//
+//	[N 87%]  NFA tile, 87% of its 128 columns hold character classes
+//	[B 99%]  NBVA tile (CCs + init vectors + bit-vector columns)
+//	[L 64%]  LNFA tile (CAM slots / switch slots, capacity-weighted)
+//	[  --  ]  unused tile
+//
+// Bin-leading LNFA tiles (the ones holding initial states, which stay
+// powered every cycle) are marked with '*'.
+func (p *Placement) Floorplan() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Placement: %d arrays, %d tiles used, %d banks, %.1f%% utilization\n",
+		len(p.Arrays), p.TilesUsed(), p.Banks(), 100*p.Utilization())
+	for ai := range p.Arrays {
+		a := &p.Arrays[ai]
+		fmt.Fprintf(&b, "array %2d (%s", ai, a.Mode)
+		switch a.Mode {
+		case ModeNBVA:
+			fmt.Fprintf(&b, ", depth %d", a.Depth)
+		case ModeLNFA:
+			fmt.Fprintf(&b, ", %d bins", len(a.Bins))
+		case ModeNFA:
+			fmt.Fprintf(&b, ", %d cross-tile edges", a.CrossTileEdges)
+		}
+		b.WriteString("):\n  ")
+		for ti := range a.Tiles {
+			t := &a.Tiles[ti]
+			b.WriteString(tileCell(a.Mode, t))
+			if (ti+1)%8 == 0 && ti+1 < len(a.Tiles) {
+				b.WriteString("\n  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func tileCell(mode Mode, t *TilePlan) string {
+	used := t.Columns()
+	capTotal := TileSTEs
+	tag := byte('N')
+	switch {
+	case t.LNFAUsed() > 0:
+		tag = 'L'
+		used = t.LNFAUsed()
+		capTotal = 0
+		if t.CAMSlots > 0 {
+			capTotal += TileSTEs
+		}
+		if t.SwitchSlots > 0 {
+			capTotal += SwitchLNFASlots
+		}
+	case t.HasBV:
+		tag = 'B'
+	case used == 0:
+		return "[  --  ]"
+	}
+	pct := 100 * used / capTotal
+	marker := " "
+	if t.HasInitial {
+		marker = "*"
+	}
+	return fmt.Sprintf("[%c%s%3d%%]", tag, marker, pct)
+}

@@ -1,0 +1,124 @@
+package automata
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/charclass"
+)
+
+// This file implements capped subset construction, used for *analysis*
+// only: §2.1 notes that unfolding bounded repetitions "can produce a DFA
+// of size exponential in n", which is the reason AP-style hardware
+// executes NFAs directly. DFASize makes that blowup measurable per regex
+// (the rapc -analyze view), without ever being on the matching path.
+
+// DFAResult reports the outcome of a capped subset construction.
+type DFAResult struct {
+	// States is the number of distinct subset states reached (including
+	// the dead state if reachable).
+	States int
+	// Capped is true when construction stopped at the cap; States is then
+	// a lower bound.
+	Capped bool
+	// Transitions is the number of distinct (state, class-partition)
+	// transitions explored.
+	Transitions int
+}
+
+// DFASize runs subset construction over the unanchored-matching
+// configuration space of the NFA (initial states re-injected every step,
+// matching the streaming semantics) and stops after visiting cap subset
+// states. Use cap <= 0 for a default of 100000.
+//
+// The alphabet is first partitioned into equivalence classes (bytes that
+// no state's character class distinguishes), so the per-state fanout is
+// the number of distinct class partitions rather than 256.
+func DFASize(n *NFA, cap int) DFAResult {
+	if cap <= 0 {
+		cap = 100000
+	}
+	partitions := alphabetPartitions(n)
+	follow := n.FollowMasks()
+	initial := n.InitialSet()
+	labels := make([]bitvec.Vector, len(partitions))
+	for i, rep := range partitions {
+		v := bitvec.New(len(n.States))
+		for q, s := range n.States {
+			if s.Class.Contains(rep) {
+				v.Set(q)
+			}
+		}
+		labels[i] = v
+	}
+
+	// The streaming start state: before any input, no state is active;
+	// initial states are injected on every transition (unanchored
+	// semantics), so construction begins from the empty set.
+	seen := map[string]bool{}
+	var queue []bitvec.Vector
+	empty := bitvec.New(len(n.States))
+	seen[vecKey(empty)] = true
+	queue = append(queue, empty)
+	res := DFAResult{States: 1}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for pi := range partitions {
+			next := bitvec.New(len(n.States))
+			for q := cur.NextSet(0); q >= 0; q = cur.NextSet(q + 1) {
+				next.Or(follow[q])
+			}
+			next.Or(initial)
+			next.And(labels[pi])
+			res.Transitions++
+			key := vecKey(next)
+			if !seen[key] {
+				seen[key] = true
+				res.States++
+				if res.States >= cap {
+					res.Capped = true
+					return res
+				}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return res
+}
+
+// alphabetPartitions returns one representative byte per equivalence
+// class of the alphabet under the NFA's character classes.
+func alphabetPartitions(n *NFA) []byte {
+	// Signature of byte b = the set of states whose class contains b.
+	sigs := map[string]byte{}
+	var reps []byte
+	for c := 0; c < charclass.AlphabetSize; c++ {
+		b := byte(c)
+		sig := make([]byte, (len(n.States)+7)/8)
+		for q, s := range n.States {
+			if s.Class.Contains(b) {
+				sig[q/8] |= 1 << (q % 8)
+			}
+		}
+		k := string(sig)
+		if _, ok := sigs[k]; !ok {
+			sigs[k] = b
+			reps = append(reps, b)
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	return reps
+}
+
+func vecKey(v bitvec.Vector) string {
+	words := v.Words()
+	b := make([]byte, len(words)*8)
+	for i, w := range words {
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,148 @@
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// DFA is a materialized deterministic automaton for streaming (unanchored)
+// matching, built by subset construction over an NFA. §2.1 explains why
+// hardware avoids DFAs — the state count can be exponential — but for
+// small automata a DFA is the fastest software matcher (one table lookup
+// per byte), which is how Hyperscan-class engines execute small patterns.
+// The reference matcher uses it below a state-count threshold.
+type DFA struct {
+	// partition maps each input byte to its alphabet-equivalence class.
+	partition [256]uint16
+	// trans is the transition table: state*numParts + partition -> state.
+	trans []int32
+	// reports[state] is the number of NFA final states inside the subset —
+	// the per-cycle report count, matching the hardware's counting.
+	reports  []uint16
+	numParts int
+}
+
+// ErrDFATooLarge is returned when subset construction exceeds the cap.
+var ErrDFATooLarge = fmt.Errorf("automata: DFA exceeds state cap")
+
+// BuildDFA materializes the streaming DFA of the NFA, failing with
+// ErrDFATooLarge beyond cap subset states (cap <= 0 means 4096).
+// Start-anchored NFAs are not supported (the streaming construction
+// re-injects initial states every step).
+func BuildDFA(n *NFA, cap int) (*DFA, error) {
+	if n.StartAnchored {
+		return nil, fmt.Errorf("automata: BuildDFA does not support start-anchored NFAs")
+	}
+	if cap <= 0 {
+		cap = 4096
+	}
+	reps := alphabetPartitions(n)
+	d := &DFA{numParts: len(reps)}
+	for i, rep := range reps {
+		// Assign every byte with the same signature as rep to partition i.
+		for b := 0; b < 256; b++ {
+			if sameSignature(n, byte(b), rep) {
+				d.partition[b] = uint16(i)
+			}
+		}
+	}
+	follow := n.FollowMasks()
+	initial := n.InitialSet()
+	final := n.FinalSet()
+	labels := make([]bitvec.Vector, len(reps))
+	for i, rep := range reps {
+		v := bitvec.New(len(n.States))
+		for q, s := range n.States {
+			if s.Class.Contains(rep) {
+				v.Set(q)
+			}
+		}
+		labels[i] = v
+	}
+
+	index := map[string]int32{}
+	var subsets []bitvec.Vector
+	intern := func(v bitvec.Vector) (int32, bool) {
+		key := vecKey(v)
+		if id, ok := index[key]; ok {
+			return id, false
+		}
+		id := int32(len(subsets))
+		index[key] = id
+		subsets = append(subsets, v)
+		reporting := v.Clone()
+		reporting.And(final)
+		d.reports = append(d.reports, uint16(reporting.Count()))
+		return id, true
+	}
+	empty := bitvec.New(len(n.States))
+	intern(empty)
+	for head := 0; head < len(subsets); head++ {
+		cur := subsets[head]
+		for pi := range reps {
+			next := bitvec.New(len(n.States))
+			for q := cur.NextSet(0); q >= 0; q = cur.NextSet(q + 1) {
+				next.Or(follow[q])
+			}
+			next.Or(initial)
+			next.And(labels[pi])
+			id, fresh := intern(next)
+			if fresh && len(subsets) > cap {
+				return nil, fmt.Errorf("%w: >%d states", ErrDFATooLarge, cap)
+			}
+			d.trans = append(d.trans, id)
+			_ = id
+		}
+	}
+	return d, nil
+}
+
+// sameSignature reports whether bytes a and b are indistinguishable by
+// every state class.
+func sameSignature(n *NFA, a, b byte) bool {
+	for _, s := range n.States {
+		if s.Class.Contains(a) != s.Class.Contains(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// NumStates returns the DFA state count.
+func (d *DFA) NumStates() int { return len(d.reports) }
+
+// Runner state for the DFA is just an int; provide streaming helpers.
+
+// DFARunner streams bytes through the DFA.
+type DFARunner struct {
+	d     *DFA
+	state int32
+}
+
+// NewDFARunner returns a runner at the start state.
+func NewDFARunner(d *DFA) *DFARunner { return &DFARunner{d: d} }
+
+// Reset returns to the start state.
+func (r *DFARunner) Reset() { r.state = 0 }
+
+// Step consumes one byte and returns the number of reports fired.
+func (r *DFARunner) Step(b byte) int {
+	d := r.d
+	r.state = d.trans[int(r.state)*d.numParts+int(d.partition[b])]
+	return int(d.reports[r.state])
+}
+
+// MatchEnds returns every offset where at least one report fires, with
+// multiplicity (one entry per reporting state), matching NFA-side
+// semantics used by the reference matcher.
+func (d *DFA) MatchEnds(input []byte) []int {
+	r := NewDFARunner(d)
+	var out []int
+	for i, b := range input {
+		for k := r.Step(b); k > 0; k-- {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package automata
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/regexast"
+)
+
+func TestBuildDFAEquivalence(t *testing.T) {
+	patterns := []string{
+		"abc", "a(b|c)*d", "a[bc].d?", "x.y", "[0-9][0-9]", "a.*z",
+		"q(w|e)+r", "ab|cd|ef",
+	}
+	r := rand.New(rand.NewSource(6))
+	for _, p := range patterns {
+		nfa := mustNFA(t, p)
+		dfa, err := BuildDFA(nfa, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			input := make([]byte, r.Intn(30))
+			for i := range input {
+				input[i] = byte("abcdefqwrxyz059"[r.Intn(15)])
+			}
+			// Compare report multiplicity per offset with the NFA runner.
+			nr := NewRunner(nfa)
+			dr := NewDFARunner(dfa)
+			for _, b := range input {
+				nr.Step(b)
+				nWant := nr.FinalsActive()
+				nGot := dr.Step(b)
+				if nWant != nGot {
+					t.Fatalf("%q input %q: DFA %d reports, NFA %d", p, input, nGot, nWant)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildDFACapAndAnchors(t *testing.T) {
+	nfa := mustNFA(t, "a.{14}")
+	if _, err := BuildDFA(nfa, 64); !errors.Is(err, ErrDFATooLarge) {
+		t.Errorf("expected ErrDFATooLarge, got %v", err)
+	}
+	anchored := mustNFA(t, "^abc")
+	if _, err := BuildDFA(anchored, 0); err == nil {
+		t.Error("start-anchored NFA accepted")
+	}
+}
+
+func TestDFAMatchEnds(t *testing.T) {
+	nfa := mustNFA(t, "ab")
+	dfa, err := BuildDFA(nfa, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := dfa.MatchEnds([]byte("abxab"))
+	if len(ends) != 2 || ends[0] != 1 || ends[1] != 4 {
+		t.Errorf("MatchEnds = %v", ends)
+	}
+	if dfa.NumStates() < 2 {
+		t.Errorf("NumStates = %d", dfa.NumStates())
+	}
+}
+
+func TestPropDFAEqualsNFAOnRandomPatterns(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 150; trial++ {
+		pattern := genPattern(r, 3)
+		re, err := regexast.Parse(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nfa, err := Glushkov(re, 4096)
+		if err != nil {
+			continue
+		}
+		dfa, err := BuildDFA(nfa, 4096)
+		if err != nil {
+			continue // capped; fine
+		}
+		for rep := 0; rep < 10; rep++ {
+			input := make([]byte, r.Intn(20))
+			for i := range input {
+				input[i] = byte('a' + r.Intn(4))
+			}
+			nr := NewRunner(nfa)
+			dr := NewDFARunner(dfa)
+			for _, b := range input {
+				nr.Step(b)
+				if nr.FinalsActive() != dr.Step(b) {
+					t.Fatalf("pattern %q input %q: divergence", pattern, input)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDFAStep(b *testing.B) {
+	nfa, _ := Glushkov(regexast.MustParse("a(b|c)*d.*xyz"), 0)
+	dfa, err := BuildDFA(nfa, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := make([]byte, 4096)
+	r := rand.New(rand.NewSource(1))
+	for i := range input {
+		input[i] = byte('a' + r.Intn(26))
+	}
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dr := NewDFARunner(dfa)
+		for _, c := range input {
+			dr.Step(c)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/regexast"
+)
+
+// DefaultMaxStates bounds the size of automata produced by Glushkov when
+// unfolding bounded repetitions. It matches the largest regex RAP supports
+// in NBVA mode after unfolding (§3.3: 64528 STEs).
+const DefaultMaxStates = 64528
+
+// Glushkov builds the homogeneous ε-free NFA of the regex using the
+// Glushkov (position) construction (§2.1). Finite bounded repetitions are
+// unfolded first; the construction fails with regexast.ErrBudget if the
+// unfolded expression exceeds maxStates positions (pass 0 for
+// DefaultMaxStates).
+func Glushkov(re *regexast.Regex, maxStates int) (*NFA, error) {
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	root, err := regexast.UnfoldAll(re.Root, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	return glushkovCore(root, re)
+}
+
+// GlushkovFromNode builds the NFA for a bare AST with no anchoring,
+// unfolding as needed. Used for sub-expressions during NBVA compilation.
+func GlushkovFromNode(n regexast.Node, maxStates int) (*NFA, error) {
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	root, err := regexast.UnfoldAll(n, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	return glushkovCore(root, nil)
+}
+
+// info carries the Glushkov sets for a subexpression: positions are global
+// state indices assigned in left-to-right leaf order.
+type info struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func glushkovCore(root regexast.Node, re *regexast.Regex) (*NFA, error) {
+	nfa := &NFA{}
+	if re != nil {
+		nfa.StartAnchored = re.StartAnchored
+		nfa.EndAnchored = re.EndAnchored
+	}
+	// Assign positions and collect classes.
+	var assign func(n regexast.Node) (*info, error)
+	follow := map[int]map[int]bool{}
+	addFollow := func(p, q int) {
+		m := follow[p]
+		if m == nil {
+			m = map[int]bool{}
+			follow[p] = m
+		}
+		m[q] = true
+	}
+	assign = func(n regexast.Node) (*info, error) {
+		switch t := n.(type) {
+		case regexast.Empty:
+			return &info{nullable: true}, nil
+		case *regexast.Lit:
+			pos := len(nfa.States)
+			nfa.States = append(nfa.States, State{Class: t.Class})
+			return &info{first: []int{pos}, last: []int{pos}}, nil
+		case *regexast.Concat:
+			cur := &info{nullable: true}
+			for _, s := range t.Subs {
+				si, err := assign(s)
+				if err != nil {
+					return nil, err
+				}
+				// follow: last(cur) × first(si)
+				for _, p := range cur.last {
+					for _, q := range si.first {
+						addFollow(p, q)
+					}
+				}
+				var first []int
+				if cur.nullable {
+					first = unionSorted(cur.first, si.first)
+				} else {
+					first = cur.first
+				}
+				var last []int
+				if si.nullable {
+					last = unionSorted(cur.last, si.last)
+				} else {
+					last = si.last
+				}
+				cur = &info{nullable: cur.nullable && si.nullable, first: first, last: last}
+			}
+			return cur, nil
+		case *regexast.Alt:
+			out := &info{}
+			for _, s := range t.Subs {
+				si, err := assign(s)
+				if err != nil {
+					return nil, err
+				}
+				out.nullable = out.nullable || si.nullable
+				out.first = unionSorted(out.first, si.first)
+				out.last = unionSorted(out.last, si.last)
+			}
+			return out, nil
+		case *regexast.Repeat:
+			// After UnfoldAll only *, +, ? remain.
+			si, err := assign(t.Sub)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case t.Min == 0 && t.Max == regexast.Unbounded, t.Min == 1 && t.Max == regexast.Unbounded:
+				// Loop: last × first.
+				for _, p := range si.last {
+					for _, q := range si.first {
+						addFollow(p, q)
+					}
+				}
+				return &info{nullable: si.nullable || t.Min == 0, first: si.first, last: si.last}, nil
+			case t.Min == 0 && t.Max == 1:
+				return &info{nullable: true, first: si.first, last: si.last}, nil
+			default:
+				return nil, fmt.Errorf("automata: bounded repetition {%d,%d} survived unfolding", t.Min, t.Max)
+			}
+		default:
+			return nil, fmt.Errorf("automata: unknown node %T", n)
+		}
+	}
+	rootInfo, err := assign(root)
+	if err != nil {
+		return nil, err
+	}
+	nfa.Initial = rootInfo.first
+	nfa.Final = rootInfo.last
+	nfa.MatchesEmpty = rootInfo.nullable
+	for p, m := range follow {
+		succ := make([]int, 0, len(m))
+		for q := range m {
+			succ = append(succ, q)
+		}
+		sortInts(succ)
+		nfa.States[p].Follow = succ
+	}
+	return nfa, nil
+}
+
+// unionSorted merges two strictly increasing int slices.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func sortInts(s []int) {
+	// insertion sort; follow sets are small
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package automata implements homogeneous nondeterministic finite automata
+// (§2.1): the Glushkov construction from regex ASTs, a bitset-based
+// software simulator used as the functional reference for all hardware
+// modes, and structural queries (linearity) used by the RAP compiler.
+package automata
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/charclass"
+)
+
+// State is one position of a homogeneous NFA. All transitions entering the
+// state are labeled with its Class (homogeneity, §2.1).
+type State struct {
+	Class  charclass.Class
+	Follow []int // successor state indices, strictly increasing
+}
+
+// NFA is a homogeneous NFA (Q, L, Δ, I, F). It is ε-free; acceptance of
+// the empty string is recorded separately in MatchesEmpty.
+type NFA struct {
+	States  []State
+	Initial []int // strictly increasing
+	Final   []int // strictly increasing
+
+	// MatchesEmpty records whether the language contains ε (the regex is
+	// nullable). Streaming matchers report a match at every offset for
+	// such patterns.
+	MatchesEmpty bool
+
+	// StartAnchored restricts initial states to being available only for
+	// the first input symbol (an AP "start-of-data" STE rather than an
+	// "all-input" STE). EndAnchored restricts reporting to end of input.
+	StartAnchored bool
+	EndAnchored   bool
+}
+
+// NumStates returns |Q|.
+func (n *NFA) NumStates() int { return len(n.States) }
+
+// InitialSet returns the initial states as a bit vector.
+func (n *NFA) InitialSet() bitvec.Vector {
+	v := bitvec.New(len(n.States))
+	for _, q := range n.Initial {
+		v.Set(q)
+	}
+	return v
+}
+
+// FinalSet returns the final states as a bit vector.
+func (n *NFA) FinalSet() bitvec.Vector {
+	v := bitvec.New(len(n.States))
+	for _, q := range n.Final {
+		v.Set(q)
+	}
+	return v
+}
+
+// FollowMasks precomputes, for every state, the bit vector of its
+// successors. Simulators use it for fast state transition.
+func (n *NFA) FollowMasks() []bitvec.Vector {
+	masks := make([]bitvec.Vector, len(n.States))
+	for i, s := range n.States {
+		m := bitvec.New(len(n.States))
+		for _, q := range s.Follow {
+			m.Set(q)
+		}
+		masks[i] = m
+	}
+	return masks
+}
+
+// IsLinear reports whether the automaton is an LNFA (§2.1): its states
+// form a line q_0 ... q_{n-1} with every transition from q_i to q_{i+1},
+// a single initial state q_0. Strict additionally requires the single
+// final state q_{n-1}, the form the RAP hardware executes (§3.2).
+func (n *NFA) IsLinear(strict bool) bool {
+	if len(n.States) == 0 {
+		return false
+	}
+	if len(n.Initial) != 1 || n.Initial[0] != 0 {
+		return false
+	}
+	for i, s := range n.States {
+		switch len(s.Follow) {
+		case 0:
+		case 1:
+			if s.Follow[0] != i+1 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	if strict {
+		return len(n.Final) == 1 && n.Final[0] == len(n.States)-1
+	}
+	return len(n.Final) > 0
+}
+
+// TransitionDensity returns the fraction of the |Q|×|Q| crossbar that is
+// populated — the switch sparsity statistic motivating LNFA mode.
+func (n *NFA) TransitionDensity() float64 {
+	if len(n.States) == 0 {
+		return 0
+	}
+	edges := 0
+	for _, s := range n.States {
+		edges += len(s.Follow)
+	}
+	return float64(edges) / float64(len(n.States)*len(n.States))
+}
+
+// String renders the automaton in a compact diagnostic form.
+func (n *NFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NFA{%d states, I=%v, F=%v", len(n.States), n.Initial, n.Final)
+	if n.MatchesEmpty {
+		b.WriteString(", ε")
+	}
+	b.WriteString("}\n")
+	for i, s := range n.States {
+		fmt.Fprintf(&b, "  q%d: %s -> %v\n", i, s.Class.String(), s.Follow)
+	}
+	return b.String()
+}
+
+// Runner simulates an NFA over a byte stream one symbol at a time,
+// mirroring the state-matching / state-transition cycle structure of
+// AP-style hardware (§2.2). It is the functional reference all cycle-level
+// simulators are checked against. State matching uses precomputed per-byte
+// label masks (the CAM search result) so a step costs O(words + active).
+type Runner struct {
+	nfa     *NFA
+	follow  []bitvec.Vector
+	labels  [256]bitvec.Vector
+	initial bitvec.Vector
+	final   bitvec.Vector
+	active  bitvec.Vector
+	next    bitvec.Vector
+	scratch bitvec.Vector
+	pos     int
+}
+
+// NewRunner creates a fresh runner with no active states.
+func NewRunner(n *NFA) *Runner {
+	r := &Runner{
+		nfa:     n,
+		follow:  n.FollowMasks(),
+		initial: n.InitialSet(),
+		final:   n.FinalSet(),
+		active:  bitvec.New(len(n.States)),
+		next:    bitvec.New(len(n.States)),
+		scratch: bitvec.New(len(n.States)),
+	}
+	for c := 0; c < 256; c++ {
+		v := bitvec.New(len(n.States))
+		for i, s := range n.States {
+			if s.Class.Contains(byte(c)) {
+				v.Set(i)
+			}
+		}
+		r.labels[c] = v
+	}
+	return r
+}
+
+// Reset returns the runner to the initial configuration.
+func (r *Runner) Reset() {
+	r.active.Reset()
+	r.pos = 0
+}
+
+// Step consumes one input byte and reports whether a final state is active
+// afterwards (a match ending at this symbol). For EndAnchored automata the
+// caller must additionally check that the stream has ended.
+func (r *Runner) Step(b byte) bool {
+	// State transition: next = ∪ Follow(q) for active q, plus the initial
+	// states ("all-input" STEs are available every cycle; start-anchored
+	// only at offset 0).
+	r.next.Reset()
+	for q := r.active.NextSet(0); q >= 0; q = r.active.NextSet(q + 1) {
+		r.next.Or(r.follow[q])
+	}
+	if !r.nfa.StartAnchored || r.pos == 0 {
+		r.next.Or(r.initial)
+	}
+	// State matching: keep states whose class matches the input symbol.
+	r.next.And(r.labels[b])
+	r.active, r.next = r.next, r.active
+	r.pos++
+	r.scratch.CopyFrom(r.active)
+	r.scratch.And(r.final)
+	return r.scratch.Any()
+}
+
+// ActiveCount returns the number of currently active states, used by the
+// cycle simulators for activity-dependent energy.
+func (r *Runner) ActiveCount() int { return r.active.Count() }
+
+// FinalsActive returns the number of final states active after the last
+// Step — the number of reporting STEs firing this cycle, which is how
+// AP-style hardware counts match reports.
+func (r *Runner) FinalsActive() int {
+	r.scratch.CopyFrom(r.active)
+	r.scratch.And(r.final)
+	return r.scratch.Count()
+}
+
+// Active returns a copy of the active state vector.
+func (r *Runner) Active() bitvec.Vector { return r.active.Clone() }
+
+// ActiveRef returns the live active state vector without copying. The
+// caller must not modify it; it is overwritten by the next Step.
+func (r *Runner) ActiveRef() bitvec.Vector { return r.active }
+
+// FinalRef returns the final-state mask without copying.
+func (r *Runner) FinalRef() bitvec.Vector { return r.final }
+
+// MatchEnds runs the automaton over input and returns every offset i such
+// that a match ends at input[i] (0-based, inclusive). A nullable pattern
+// additionally matches before any input; by convention that is reported as
+// offset -1. EndAnchored automata only report at the last offset.
+func (n *NFA) MatchEnds(input []byte) []int {
+	var ends []int
+	if n.MatchesEmpty {
+		ends = append(ends, -1)
+	}
+	r := NewRunner(n)
+	for i, b := range input {
+		if r.Step(b) {
+			if !n.EndAnchored || i == len(input)-1 {
+				ends = append(ends, i)
+			}
+		}
+	}
+	return ends
+}
+
+// Matches reports whether any match ends anywhere in the input.
+func (n *NFA) Matches(input []byte) bool {
+	if n.MatchesEmpty {
+		return true
+	}
+	r := NewRunner(n)
+	for i, b := range input {
+		if r.Step(b) && (!n.EndAnchored || i == len(input)-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,585 @@
+// Package bitstream builds the RAP deployment image: the bit-exact
+// configuration pre-loaded into the hardware before streaming starts
+// (§3.3: "The hardware configuration is pre-loaded to RAP during
+// deployment"). For every tile it materializes what the paper's sections
+// 3.1–3.2 describe symbolically:
+//
+//   - the 32-bit CAM codes of every character-class column (CAMA's
+//     encoding, internal/charclass),
+//   - the BV-mask designating which CAM columns store bit vectors, plus
+//     per-BV metadata (size, width, depth, read action),
+//   - the 128×128 local-switch matrix: the NFA transfer function, the
+//     NBVA action encodings, or the LNFA one-hot codes,
+//   - the 256×256 global-switch matrix per array.
+//
+// The image serializes to a compact binary format (magic, version,
+// CRC-32) and parses back; the round trip is property-tested. Image sizes
+// are an honest measure of configuration cost — a metric reported by
+// rapc -bitstream.
+package bitstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/arch"
+	"repro/internal/charclass"
+	"repro/internal/compile"
+)
+
+// Column roles in a configured tile.
+const (
+	ColUnused byte = iota
+	ColCC          // character-class CAM code
+	ColInit        // set1 initial-vector column (NBVA)
+	ColBV          // bit-vector storage column (NBVA)
+)
+
+// TileMode mirrors arch.Mode for serialization.
+type TileMode = arch.Mode
+
+// BVConfig is the per-bit-vector metadata of §3.1.
+type BVConfig struct {
+	FirstColumn uint8 // leftmost BV column
+	Width       uint8
+	Depth       uint8
+	ReadAll     bool   // rAll vs r(n)
+	Size        uint16 // bits
+}
+
+// TileConfig is one tile's full configuration.
+type TileConfig struct {
+	Mode     TileMode
+	ColRole  [arch.TileSTEs]byte   // role of each CAM column
+	CAMCodes [arch.TileSTEs]uint32 // 32-bit code per CC column (hi<<16|lo)
+	BVs      []BVConfig
+	// LocalSwitch is the 128×128 crossbar bitmap, row-major (row = driving
+	// line, bit = crossing point programmed '1'). In LNFA mode rows hold
+	// one-hot codes instead of transfer-function dots.
+	LocalSwitch [arch.TileSTEs * arch.TileSTEs / 8]byte
+	// HasInitial marks LNFA bin-leading tiles (power-gating control).
+	HasInitial bool
+}
+
+// ArrayConfig is one array's configuration.
+type ArrayConfig struct {
+	Mode  arch.Mode
+	Depth uint8
+	Tiles []TileConfig
+	// GlobalSwitch is the 256×256 crossbar bitmap, row-major.
+	GlobalSwitch [256 * 256 / 8]byte
+}
+
+// Image is a full deployment image.
+type Image struct {
+	Arrays []ArrayConfig
+}
+
+// SizeBytes returns the serialized size.
+func (img *Image) SizeBytes() int {
+	data, _ := img.MarshalBinary()
+	return len(data)
+}
+
+// setBit sets crossbar bit (row, col).
+func setBit(m []byte, row, col, width int) {
+	idx := row*width + col
+	m[idx/8] |= 1 << (idx % 8)
+}
+
+// getBit reads crossbar bit (row, col).
+func getBit(m []byte, row, col, width int) bool {
+	idx := row*width + col
+	return m[idx/8]&(1<<(idx%8)) != 0
+}
+
+// codeOf packs a class's first 32-bit CAM code (hi mask << 16 | lo mask).
+// Multi-code classes store their first partition; the remaining
+// partitions would occupy additional physical columns in a full layout —
+// a documented simplification matching the one-column-per-STE area model.
+func codeOf(c charclass.Class) uint32 {
+	codes := charclass.Encode(c)
+	if len(codes) == 0 {
+		return 0
+	}
+	return uint32(codes[0].Hi)<<16 | uint32(codes[0].Lo)
+}
+
+// Build materializes the deployment image for a placement.
+func Build(res *compile.Result, p *arch.Placement) (*Image, error) {
+	img := &Image{}
+	for ai := range p.Arrays {
+		plan := &p.Arrays[ai]
+		ac := ArrayConfig{Mode: plan.Mode, Depth: uint8(plan.Depth)}
+		ac.Tiles = make([]TileConfig, len(plan.Tiles))
+		for ti := range plan.Tiles {
+			ac.Tiles[ti].Mode = plan.Mode
+			ac.Tiles[ti].HasInitial = plan.Tiles[ti].HasInitial
+		}
+		var err error
+		switch plan.Mode {
+		case arch.ModeNFA:
+			err = buildNFAArray(res, plan, &ac)
+		case arch.ModeNBVA:
+			err = buildNBVAArray(res, plan, &ac)
+		case arch.ModeLNFA:
+			err = buildLNFAArray(res, plan, &ac)
+		default:
+			err = fmt.Errorf("bitstream: unknown mode %v", plan.Mode)
+		}
+		if err != nil {
+			return nil, err
+		}
+		img.Arrays = append(img.Arrays, ac)
+	}
+	return img, nil
+}
+
+// buildNFAArray lays out states sequentially (the mapper's slot order)
+// and programs the transfer function: in-tile edges in the local switch,
+// cross-tile edges through the global switch ports.
+func buildNFAArray(res *compile.Result, plan *arch.ArrayPlan, ac *ArrayConfig) error {
+	slot := 0
+	// Global state index per (regex, state) in mapping order.
+	colOf := map[arch.StateRef]int{}
+	for _, ri := range plan.Regexes {
+		c := &res.Regexes[ri]
+		if c.NFA == nil {
+			return fmt.Errorf("bitstream: regex %d lacks NFA payload", ri)
+		}
+		for q := 0; q < c.NFA.NumStates(); q++ {
+			ref := arch.StateRef{Regex: ri, State: q}
+			colOf[ref] = slot
+			tile := slot / arch.TileSTEs
+			col := slot % arch.TileSTEs
+			if tile >= len(ac.Tiles) {
+				return fmt.Errorf("bitstream: state overflow in array")
+			}
+			tc := &ac.Tiles[tile]
+			tc.ColRole[col] = ColCC
+			tc.CAMCodes[col] = codeOf(c.NFA.States[q].Class)
+			slot++
+		}
+	}
+	for _, ri := range plan.Regexes {
+		c := &res.Regexes[ri]
+		for q, s := range c.NFA.States {
+			src := colOf[arch.StateRef{Regex: ri, State: q}]
+			for _, succ := range s.Follow {
+				dst := colOf[arch.StateRef{Regex: ri, State: succ}]
+				if src/arch.TileSTEs == dst/arch.TileSTEs {
+					tc := &ac.Tiles[src/arch.TileSTEs]
+					setBit(tc.LocalSwitch[:], src%arch.TileSTEs, dst%arch.TileSTEs, arch.TileSTEs)
+				} else {
+					// Cross-tile edge: through global ports. Each tile has
+					// GlobalPortsPerTile ports; the port is the state's
+					// column modulo the port count.
+					sp := globalPort(src)
+					dp := globalPort(dst)
+					setBit(ac.GlobalSwitch[:], sp, dp, 256)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func globalPort(slot int) int {
+	tile := slot / arch.TileSTEs
+	return tile*arch.GlobalPortsPerTile + (slot%arch.TileSTEs)%arch.GlobalPortsPerTile
+}
+
+// buildNBVAArray lays columns out canonically per tile: CC columns, then
+// init-vector columns, then BV columns; BV actions are encoded in the
+// local switch's BV region (§3.1's shift/copy/set1 schemes are
+// represented by programming the diagonal of the BV cross-point region).
+func buildNBVAArray(res *compile.Result, plan *arch.ArrayPlan, ac *ArrayConfig) error {
+	// Recover the character classes stored per tile: standard STEs sit in
+	// their StateTile; every chunk of a (possibly split) BV-STE carries a
+	// CC column in its own tile.
+	ccClasses := make([][]charclass.Class, len(plan.Tiles))
+	bvChunkTiles := map[arch.StateRef][]int{}
+	for ti := range plan.Tiles {
+		for _, bv := range plan.Tiles[ti].BVs {
+			ref := arch.StateRef{Regex: bv.Regex, State: bv.STE}
+			bvChunkTiles[ref] = append(bvChunkTiles[ref], ti)
+		}
+	}
+	for _, ri := range plan.Regexes {
+		c := &res.Regexes[ri]
+		if c.NBVA == nil {
+			return fmt.Errorf("bitstream: regex %d lacks NBVA payload", ri)
+		}
+		for q, s := range c.NBVA.States {
+			ref := arch.StateRef{Regex: ri, State: q}
+			if s.BV != nil {
+				for _, ti := range bvChunkTiles[ref] {
+					ccClasses[ti] = append(ccClasses[ti], s.Class)
+				}
+				continue
+			}
+			if ti, ok := plan.StateTile[ref]; ok {
+				ccClasses[ti] = append(ccClasses[ti], s.Class)
+			}
+		}
+	}
+	for ti := range plan.Tiles {
+		tp := &plan.Tiles[ti]
+		tc := &ac.Tiles[ti]
+		col := 0
+		place := func(role byte, n int) int {
+			start := col
+			for k := 0; k < n; k++ {
+				if col >= arch.TileSTEs {
+					return -1
+				}
+				tc.ColRole[col] = role
+				col++
+			}
+			return start
+		}
+		ccStart := place(ColCC, tp.CCColumns)
+		if ccStart < 0 || place(ColInit, tp.InitColumns) < 0 {
+			return fmt.Errorf("bitstream: tile %d column overflow", ti)
+		}
+		for k, cls := range ccClasses[ti] {
+			if k >= tp.CCColumns {
+				return fmt.Errorf("bitstream: tile %d has %d classes for %d CC columns",
+					ti, len(ccClasses[ti]), tp.CCColumns)
+			}
+			tc.CAMCodes[ccStart+k] = codeOf(cls)
+		}
+		for _, bv := range tp.BVs {
+			start := place(ColBV, bv.Width)
+			if start < 0 {
+				return fmt.Errorf("bitstream: tile %d BV overflow", ti)
+			}
+			readAll := bv.Read != 0
+			tc.BVs = append(tc.BVs, BVConfig{
+				FirstColumn: uint8(start),
+				Width:       uint8(bv.Width),
+				Depth:       uint8(bv.Depth),
+				ReadAll:     readAll,
+				Size:        uint16(bv.Size),
+			})
+			// Shift-action encoding (§3.1, Fig 5): route bit i of the BV
+			// word to position i+1; the last bit goes through the
+			// auxiliary register back to the first column.
+			for k := 0; k < bv.Width; k++ {
+				dst := start + (k+1)%bv.Width
+				setBit(tc.LocalSwitch[:], start+k, dst, arch.TileSTEs)
+			}
+		}
+	}
+	return nil
+}
+
+// buildLNFAArray stores CAM-mapped sequences as 32-bit codes in CAM
+// columns and switch-mapped sequences as one-hot codes across two switch
+// columns (§3.2).
+func buildLNFAArray(res *compile.Result, plan *arch.ArrayPlan, ac *ArrayConfig) error {
+	camCursor := make([]int, len(plan.Tiles))
+	switchCursor := make([]int, len(plan.Tiles))
+	for bi := range plan.Bins {
+		bin := &plan.Bins[bi]
+		for _, ref := range bin.Seqs {
+			c := &res.Regexes[ref[0]]
+			if ref[1] >= len(c.Seqs) {
+				return fmt.Errorf("bitstream: bad sequence ref %v", ref)
+			}
+			seq := c.Seqs[ref[1]]
+			region := regionSize(bin)
+			for j, cls := range seq.Classes {
+				tIdx := (bin.StartOffset + j) / region
+				if tIdx >= len(bin.Tiles) {
+					tIdx = len(bin.Tiles) - 1
+				}
+				tile := bin.Tiles[tIdx]
+				tc := &ac.Tiles[tile]
+				if bin.CAMMapped {
+					col := camCursor[tile]
+					if col >= arch.TileSTEs {
+						return fmt.Errorf("bitstream: LNFA CAM overflow in tile %d", tile)
+					}
+					tc.ColRole[col] = ColCC
+					tc.CAMCodes[col] = codeOf(cls)
+					camCursor[tile]++
+				} else {
+					slotIdx := switchCursor[tile]
+					if slotIdx >= arch.SwitchLNFASlots {
+						return fmt.Errorf("bitstream: LNFA switch overflow in tile %d", tile)
+					}
+					// One-hot code: 256 bits over two 128-bit switch
+					// columns (2*slot, 2*slot+1). Row r bit set iff byte
+					// value (half*128 + r) is in the class.
+					for b := 0; b < 256; b++ {
+						if cls.Contains(byte(b)) {
+							colPair := 2*slotIdx + b/128
+							setBit(tc.LocalSwitch[:], b%128, colPair, arch.TileSTEs)
+						}
+					}
+					switchCursor[tile]++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// regionSize mirrors mapper.RegionSize without importing it (avoiding a
+// dependency cycle risk; the computation is fixed by the architecture).
+func regionSize(b *arch.BinPlan) int {
+	capSlots := arch.TileSTEs
+	if !b.CAMMapped {
+		capSlots = arch.SwitchLNFASlots
+	}
+	n := len(b.Seqs)
+	if n == 0 {
+		return capSlots
+	}
+	r := capSlots / n
+	if r == 0 {
+		r = 1
+	}
+	return r
+}
+
+// --- serialization ---
+
+const (
+	magic   = 0x52415042 // "RAPB"
+	version = 1
+)
+
+// MarshalBinary serializes the image with a trailing CRC-32.
+func (img *Image) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v interface{}) {
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	w(uint32(magic))
+	w(uint16(version))
+	w(uint16(len(img.Arrays)))
+	for _, a := range img.Arrays {
+		w(uint8(a.Mode))
+		w(a.Depth)
+		w(uint16(len(a.Tiles)))
+		for _, t := range a.Tiles {
+			w(uint8(t.Mode))
+			flags := uint8(0)
+			if t.HasInitial {
+				flags |= 1
+			}
+			w(flags)
+			w(t.ColRole[:])
+			w(t.CAMCodes[:])
+			w(uint16(len(t.BVs)))
+			for _, bv := range t.BVs {
+				w(bv.FirstColumn)
+				w(bv.Width)
+				w(bv.Depth)
+				b := uint8(0)
+				if bv.ReadAll {
+					b = 1
+				}
+				w(b)
+				w(bv.Size)
+			}
+			w(t.LocalSwitch[:])
+		}
+		w(a.GlobalSwitch[:])
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	w(sum)
+	return buf.Bytes(), nil
+}
+
+// Parse deserializes and verifies an image.
+func Parse(data []byte) (*Image, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("bitstream: truncated image")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("bitstream: CRC mismatch")
+	}
+	r := bytes.NewReader(body)
+	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
+	var m uint32
+	var ver, nArrays uint16
+	if err := rd(&m); err != nil || m != magic {
+		return nil, fmt.Errorf("bitstream: bad magic")
+	}
+	if err := rd(&ver); err != nil || ver != version {
+		return nil, fmt.Errorf("bitstream: unsupported version %d", ver)
+	}
+	if err := rd(&nArrays); err != nil {
+		return nil, err
+	}
+	img := &Image{}
+	for i := 0; i < int(nArrays); i++ {
+		var a ArrayConfig
+		var mode uint8
+		var nTiles uint16
+		if err := rd(&mode); err != nil {
+			return nil, err
+		}
+		if err := rd(&a.Depth); err != nil {
+			return nil, err
+		}
+		if err := rd(&nTiles); err != nil {
+			return nil, err
+		}
+		a.Mode = arch.Mode(mode)
+		for t := 0; t < int(nTiles); t++ {
+			var tc TileConfig
+			var tm, flags uint8
+			if err := rd(&tm); err != nil {
+				return nil, err
+			}
+			if err := rd(&flags); err != nil {
+				return nil, err
+			}
+			tc.Mode = arch.Mode(tm)
+			tc.HasInitial = flags&1 != 0
+			if err := rd(tc.ColRole[:]); err != nil {
+				return nil, err
+			}
+			if err := rd(tc.CAMCodes[:]); err != nil {
+				return nil, err
+			}
+			var nBVs uint16
+			if err := rd(&nBVs); err != nil {
+				return nil, err
+			}
+			for k := 0; k < int(nBVs); k++ {
+				var bv BVConfig
+				var readAll uint8
+				if err := rd(&bv.FirstColumn); err != nil {
+					return nil, err
+				}
+				if err := rd(&bv.Width); err != nil {
+					return nil, err
+				}
+				if err := rd(&bv.Depth); err != nil {
+					return nil, err
+				}
+				if err := rd(&readAll); err != nil {
+					return nil, err
+				}
+				if err := rd(&bv.Size); err != nil {
+					return nil, err
+				}
+				bv.ReadAll = readAll != 0
+				tc.BVs = append(tc.BVs, bv)
+			}
+			if err := rd(tc.LocalSwitch[:]); err != nil {
+				return nil, err
+			}
+			a.Tiles = append(a.Tiles, tc)
+		}
+		if err := rd(a.GlobalSwitch[:]); err != nil {
+			return nil, err
+		}
+		img.Arrays = append(img.Arrays, a)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("bitstream: %d trailing bytes", r.Len())
+	}
+	return img, nil
+}
+
+// Validate checks the structural invariants a loader relies on: column
+// roles consistent with the BV metadata, CC columns carrying codes, BV
+// extents inside the tile, and depths within the CAM row budget.
+func (img *Image) Validate() error {
+	for ai := range img.Arrays {
+		a := &img.Arrays[ai]
+		if a.Depth > arch.CAMRows {
+			return fmt.Errorf("bitstream: array %d depth %d > %d", ai, a.Depth, arch.CAMRows)
+		}
+		for ti := range a.Tiles {
+			t := &a.Tiles[ti]
+			for col, role := range t.ColRole {
+				switch role {
+				case ColCC:
+					if t.CAMCodes[col] == 0 {
+						return fmt.Errorf("bitstream: array %d tile %d col %d: CC without code", ai, ti, col)
+					}
+				case ColUnused:
+					if t.CAMCodes[col] != 0 {
+						return fmt.Errorf("bitstream: array %d tile %d col %d: code on unused column", ai, ti, col)
+					}
+				}
+			}
+			for bi, bv := range t.BVs {
+				if bv.Width == 0 {
+					return fmt.Errorf("bitstream: array %d tile %d BV %d: zero width", ai, ti, bi)
+				}
+				end := int(bv.FirstColumn) + int(bv.Width)
+				if end > arch.TileSTEs {
+					return fmt.Errorf("bitstream: array %d tile %d BV %d: extent %d", ai, ti, bi, end)
+				}
+				for c := int(bv.FirstColumn); c < end; c++ {
+					if t.ColRole[c] != ColBV {
+						return fmt.Errorf("bitstream: array %d tile %d col %d: not marked BV", ai, ti, c)
+					}
+				}
+				if int(bv.Size) > int(bv.Width)*int(bv.Depth) {
+					return fmt.Errorf("bitstream: array %d tile %d BV %d: size %d exceeds width×depth", ai, ti, bi, bv.Size)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes an image for reporting.
+type Stats struct {
+	Arrays     int
+	Tiles      int
+	CCColumns  int
+	BVColumns  int
+	SwitchDots int // programmed local-switch cross points
+	GlobalDots int
+	SizeBytes  int
+}
+
+// Summarize computes image statistics.
+func (img *Image) Summarize() Stats {
+	s := Stats{Arrays: len(img.Arrays), SizeBytes: img.SizeBytes()}
+	for ai := range img.Arrays {
+		a := &img.Arrays[ai]
+		s.Tiles += len(a.Tiles)
+		for ti := range a.Tiles {
+			t := &a.Tiles[ti]
+			for _, role := range t.ColRole {
+				switch role {
+				case ColCC:
+					s.CCColumns++
+				case ColBV:
+					s.BVColumns++
+				}
+			}
+			for _, b := range t.LocalSwitch {
+				s.SwitchDots += popcount(b)
+			}
+		}
+		for _, b := range a.GlobalSwitch {
+			s.GlobalDots += popcount(b)
+		}
+	}
+	return s
+}
+
+func popcount(b byte) int {
+	n := 0
+	for b != 0 {
+		n++
+		b &= b - 1
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+package bitstream
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/compile"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+func buildFor(t *testing.T, patterns []string, opts mapper.Options) (*compile.Result, *arch.Placement, *Image) {
+	t.Helper()
+	res := compile.Compile(patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		t.Fatal(res.Errors[0])
+	}
+	p, err := mapper.Map(res, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Build(res, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, p, img
+}
+
+func TestBuildNFAImage(t *testing.T) {
+	_, _, img := buildFor(t, []string{"a(b|c)*d"}, mapper.Options{})
+	if len(img.Arrays) != 1 {
+		t.Fatalf("arrays = %d", len(img.Arrays))
+	}
+	tile := &img.Arrays[0].Tiles[0]
+	// 4 CC columns with codes.
+	cc := 0
+	for col, role := range tile.ColRole {
+		if role == ColCC {
+			cc++
+			if tile.CAMCodes[col] == 0 {
+				t.Errorf("CC column %d has zero code", col)
+			}
+		}
+	}
+	if cc != 4 {
+		t.Errorf("CC columns = %d", cc)
+	}
+	// a(b|c)*d: edges a->b, a->c, a->d, b->b, b->c, b->d, c->b, c->c,
+	// c->d = 9 local dots.
+	s := img.Summarize()
+	if s.SwitchDots != 9 {
+		t.Errorf("switch dots = %d, want 9", s.SwitchDots)
+	}
+	if s.GlobalDots != 0 {
+		t.Errorf("global dots = %d", s.GlobalDots)
+	}
+}
+
+func TestBuildCrossTileEdges(t *testing.T) {
+	// 200-state NFA spans two tiles: one edge crosses -> one global dot.
+	pattern := "x*"
+	for i := 0; i < 199; i++ {
+		pattern += "a"
+	}
+	_, _, img := buildFor(t, []string{pattern}, mapper.Options{})
+	s := img.Summarize()
+	if s.GlobalDots != 1 {
+		t.Errorf("global dots = %d, want 1", s.GlobalDots)
+	}
+}
+
+func TestBuildNBVAImage(t *testing.T) {
+	_, p, img := buildFor(t, []string{"ab{100}c"}, mapper.Options{Depth: 4})
+	tile := &img.Arrays[0].Tiles[0]
+	if len(tile.BVs) != 1 {
+		t.Fatalf("BVs = %d", len(tile.BVs))
+	}
+	bv := tile.BVs[0]
+	if bv.Width != 25 || bv.Depth != 4 || bv.Size != 100 || bv.ReadAll {
+		t.Errorf("BV config = %+v", bv)
+	}
+	// Canonical layout: 3 CC + 1 init + 25 BV columns.
+	s := img.Summarize()
+	if s.CCColumns != 3 || s.BVColumns != 25 {
+		t.Errorf("columns: cc=%d bv=%d", s.CCColumns, s.BVColumns)
+	}
+	// Shift-action routing: width dots (ring over the BV columns).
+	if s.SwitchDots != 25 {
+		t.Errorf("switch dots = %d, want 25", s.SwitchDots)
+	}
+	_ = p
+}
+
+func TestBuildLNFAImage(t *testing.T) {
+	// Single-code classes -> CAM; [a-z] (two codes) -> one-hot switch.
+	_, _, img := buildFor(t, []string{"abc", "[a-z][a-z]"}, mapper.Options{BinSize: 1})
+	s := img.Summarize()
+	if s.CCColumns == 0 {
+		t.Error("no CAM-mapped LNFA columns")
+	}
+	// The one-hot encoding programs 26 bits per [a-z] slot × 2 slots.
+	if s.SwitchDots != 52 {
+		t.Errorf("switch dots = %d, want 52", s.SwitchDots)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, name := range []string{"Snort", "Prosite", "ClamAV"} {
+		d := workload.MustGenerate(name, 0.1, 5)
+		res := compile.Compile(d.Patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			t.Fatal(res.Errors[0])
+		}
+		p, err := mapper.Map(res, mapper.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := Build(res, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := img.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(back.Arrays) != len(img.Arrays) {
+			t.Fatalf("%s: arrays %d != %d", name, len(back.Arrays), len(img.Arrays))
+		}
+		a, b := img.Summarize(), back.Summarize()
+		if a != b {
+			t.Errorf("%s: stats changed through round trip:\n%+v\n%+v", name, a, b)
+		}
+		// Deep compare one tile.
+		for ai := range img.Arrays {
+			for ti := range img.Arrays[ai].Tiles {
+				x, y := &img.Arrays[ai].Tiles[ti], &back.Arrays[ai].Tiles[ti]
+				if x.ColRole != y.ColRole || x.CAMCodes != y.CAMCodes || x.LocalSwitch != y.LocalSwitch {
+					t.Fatalf("%s: tile a%d t%d differs", name, ai, ti)
+				}
+			}
+		}
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	_, _, img := buildFor(t, []string{"abc"}, mapper.Options{})
+	data, _ := img.MarshalBinary()
+	// Flip a byte in the middle: CRC must catch it.
+	data[len(data)/2] ^= 0xff
+	if _, err := Parse(data); err == nil {
+		t.Error("corrupted image accepted")
+	}
+	if _, err := Parse(data[:8]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	if _, err := Parse(nil); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestImageSizeScales(t *testing.T) {
+	_, _, small := buildFor(t, []string{"abc"}, mapper.Options{})
+	d := workload.MustGenerate("Snort", 0.3, 1)
+	res := compile.Compile(d.Patterns, compile.Options{})
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(res, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Errorf("image size did not grow: %d vs %d", big.SizeBytes(), small.SizeBytes())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, name := range []string{"Snort", "Prosite"} {
+		d := workload.MustGenerate(name, 0.15, 5)
+		res := compile.Compile(d.Patterns, compile.Options{})
+		p, err := mapper.Map(res, mapper.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := Build(res, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := img.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Corrupt a built image and expect Validate to object.
+	_, _, img := buildFor(t, []string{"ab{100}c"}, mapper.Options{Depth: 4})
+	img.Arrays[0].Tiles[0].BVs[0].Width = 200
+	if err := img.Validate(); err == nil {
+		t.Error("oversized BV accepted")
+	}
+}

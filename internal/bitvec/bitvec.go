@@ -1,0 +1,266 @@
+// Package bitvec provides variable-length bit vectors used throughout the
+// RAP reproduction: as NBVA counter vectors, as Shift-And state/label masks,
+// and as activation vectors inside the cycle-level simulator.
+//
+// A Vector has a fixed length in bits, chosen at construction. Bit 0 is the
+// least significant bit of word 0, matching the paper's convention that the
+// rightmost bit of the written form x_{n-1}...x_1 x_0 is index 0.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector. The zero value is a zero-length
+// vector; use New to create one with a given size.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zero vector with n bits. n must be non-negative.
+func New(n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBits builds a vector whose i-th bit is set iff bits[i] is true.
+func FromBits(bits []bool) Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v Vector) Len() int { return v.n }
+
+// Words exposes the underlying words (read-only by convention). The last
+// word's bits above Len are always zero.
+func (v Vector) Words() []uint64 { return v.words }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// Set sets bit i to 1.
+func (v Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0.
+func (v Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set.
+func (v Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (v Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Reset zeroes every bit in place.
+func (v Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Any reports whether any bit is set.
+func (v Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether the vector is all zero.
+func (v Vector) None() bool { return !v.Any() }
+
+// Count returns the number of set bits (population count).
+func (v Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Equal reports whether v and o have identical length and contents.
+func (v Vector) Equal(o Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyFrom copies o into v. Both vectors must have the same length.
+func (v Vector) CopyFrom(o Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch %d != %d", v.n, o.n))
+	}
+	copy(v.words, o.words)
+}
+
+// And stores v AND o into v. Lengths must match.
+func (v Vector) And(o Vector) {
+	v.matchLen(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// AndNot stores v AND NOT o into v. Lengths must match.
+func (v Vector) AndNot(o Vector) {
+	v.matchLen(o)
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+}
+
+// Or stores v OR o into v. Lengths must match.
+func (v Vector) Or(o Vector) {
+	v.matchLen(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// Xor stores v XOR o into v. Lengths must match.
+func (v Vector) Xor(o Vector) {
+	v.matchLen(o)
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+}
+
+func (v Vector) matchLen(o Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+// ShiftLeft shifts every bit one position toward higher indices in place
+// (the paper's "shft(v)": [0,1,0] -> [0,0,1]). The top bit is discarded;
+// it can be inspected beforehand with Get(Len()-1) for overflow checks.
+func (v Vector) ShiftLeft() {
+	var carry uint64
+	for i := range v.words {
+		next := v.words[i] >> (wordBits - 1)
+		v.words[i] = v.words[i]<<1 | carry
+		carry = next
+	}
+	v.trim()
+}
+
+// ShiftRight shifts every bit one position toward lower indices in place.
+// Bit 0 is discarded; the top bit becomes zero.
+func (v Vector) ShiftRight() {
+	for i := 0; i < len(v.words); i++ {
+		v.words[i] >>= 1
+		if i+1 < len(v.words) {
+			v.words[i] |= v.words[i+1] << (wordBits - 1)
+		}
+	}
+}
+
+// trim clears bits beyond Len in the last word.
+func (v Vector) trim() {
+	if v.n%wordBits != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << (uint(v.n) % wordBits)) - 1
+	}
+}
+
+// AnyInRange reports whether any bit in [lo, hi) is set.
+func (v Vector) AnyInRange(lo, hi int) bool {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("bitvec: bad range [%d,%d) of %d", lo, hi, v.n))
+	}
+	for i := lo; i < hi; i++ {
+		if v.Get(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none. It allows iterating set bits in O(set + words).
+func (v Vector) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	w := i / wordBits
+	off := uint(i) % wordBits
+	cur := v.words[w] >> off
+	if cur != 0 {
+		return i + bits.TrailingZeros64(cur)
+	}
+	for w++; w < len(v.words); w++ {
+		if v.words[w] != 0 {
+			return w*wordBits + bits.TrailingZeros64(v.words[w])
+		}
+	}
+	return -1
+}
+
+// String renders the vector most-significant-bit first, the notation used
+// in the paper's Shift-And examples (e.g. "0011" has bits 0 and 1 set).
+func (v Vector) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := v.n - 1; i >= 0; i-- {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Parse builds a vector from a most-significant-bit-first string of '0' and
+// '1' characters, the inverse of String.
+func Parse(s string) (Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			v.Set(len(s) - 1 - i)
+		case '0':
+		default:
+			return Vector{}, fmt.Errorf("bitvec: invalid character %q in %q", s[i], s)
+		}
+	}
+	return v, nil
+}

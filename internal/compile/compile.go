@@ -1,0 +1,356 @@
+// Package compile implements the RAP regex-to-hardware compiler front half
+// (§4): the Fig 9 decision graph choosing NBVA, LNFA or NFA mode for each
+// regex, the §4.1 rewriting pipeline (unfolding + bounded-repetition
+// rewriting) for NBVA, and the §4.2 linearization for LNFA. The output is
+// a mode-tagged, automaton-level representation the mapper places onto
+// tiles (internal/mapper) and the cycle simulator executes (internal/sim).
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/charclass"
+	"repro/internal/nbva"
+	"repro/internal/regexast"
+)
+
+// Mode is the RAP execution mode chosen for a regex.
+type Mode int
+
+const (
+	// ModeNFA is the baseline mode: Glushkov NFA on CAM + crossbar.
+	ModeNFA Mode = iota
+	// ModeNBVA compresses large bounded repetitions into bit vectors.
+	ModeNBVA
+	// ModeLNFA executes linear patterns with Shift-And on the CAM or the
+	// repurposed local switch.
+	ModeLNFA
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNBVA:
+		return "NBVA"
+	case ModeLNFA:
+		return "LNFA"
+	default:
+		return "NFA"
+	}
+}
+
+// Options are the compiler knobs exposed by the paper.
+type Options struct {
+	// UnfoldThreshold: bounded repetitions with upper bound at or below it
+	// are unfolded into states (§4.1). Default 16.
+	UnfoldThreshold int
+	// LinearBudgetFactor: LNFA rewriting may grow states at most this
+	// factor (§4.2, Fig 9 uses 2).
+	LinearBudgetFactor int
+	// MaxNFAStates: regexes whose unfolded NFA exceeds this are rejected
+	// in NFA mode (§3.3: 2048 per array). NBVA-mode regexes may unfold up
+	// to MaxNBVAUnfolded (§3.3: 64528).
+	MaxNFAStates int
+	// MaxNBVAUnfolded bounds the unfolded size of NBVA-mode regexes.
+	MaxNBVAUnfolded int
+}
+
+// DefaultOptions returns the paper's defaults.
+func DefaultOptions() Options {
+	return Options{
+		UnfoldThreshold:    16,
+		LinearBudgetFactor: 2,
+		MaxNFAStates:       2048,
+		MaxNBVAUnfolded:    64528,
+	}
+}
+
+func (o *Options) setDefaults() {
+	d := DefaultOptions()
+	if o.UnfoldThreshold == 0 {
+		o.UnfoldThreshold = d.UnfoldThreshold
+	}
+	if o.LinearBudgetFactor == 0 {
+		o.LinearBudgetFactor = d.LinearBudgetFactor
+	}
+	if o.MaxNFAStates == 0 {
+		o.MaxNFAStates = d.MaxNFAStates
+	}
+	if o.MaxNBVAUnfolded == 0 {
+		o.MaxNBVAUnfolded = d.MaxNBVAUnfolded
+	}
+}
+
+// LinearSeq is one compiled LNFA sequence with its CAM-encodability
+// classification (§3.2: single-32-bit-code CCs map to the CAM; others use
+// the one-hot scheme on the local switch).
+type LinearSeq struct {
+	Classes []charclass.Class
+	// CAMMappable is true when every class fits one 32-bit CAM code.
+	CAMMappable bool
+}
+
+// Compiled is one regex compiled to its chosen mode. Exactly one of the
+// mode payloads is populated.
+type Compiled struct {
+	Index  int    // position in the input pattern list
+	Source string // original pattern text
+	Mode   Mode
+
+	NFA  *automata.NFA // ModeNFA
+	NBVA *nbva.Machine // ModeNBVA
+	Seqs []LinearSeq   // ModeLNFA (union members of the rewritten regex)
+
+	// Stats used by mapping and reporting.
+	STEs          int // control states placed on hardware in this mode
+	BVBits        int // total bit-vector storage (NBVA only)
+	UnfoldedSTEs  int // size of the equivalent basic NFA
+	LinearGrowth  float64
+	DecisionTrail string // human-readable route through Fig 9
+}
+
+// Result is the output of compiling a pattern set.
+type Result struct {
+	Regexes []Compiled
+	Errors  []error // per-pattern compile failures (indexes preserved)
+}
+
+// ByMode returns the compiled regexes of one mode.
+func (r *Result) ByMode(m Mode) []*Compiled {
+	var out []*Compiled
+	for i := range r.Regexes {
+		if r.Regexes[i].Mode == m && r.Regexes[i].Source != "" {
+			out = append(out, &r.Regexes[i])
+		}
+	}
+	return out
+}
+
+// ModeShares returns the fraction of successfully compiled regexes per
+// mode — the Fig 1 statistic.
+func (r *Result) ModeShares() map[Mode]float64 {
+	counts := map[Mode]int{}
+	total := 0
+	for i := range r.Regexes {
+		if r.Regexes[i].Source == "" {
+			continue
+		}
+		counts[r.Regexes[i].Mode]++
+		total++
+	}
+	out := map[Mode]float64{}
+	if total == 0 {
+		return out
+	}
+	for m, c := range counts {
+		out[m] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Compile compiles every pattern with the Fig 9 decision graph. Patterns
+// that fail to parse or exceed every mode's capacity produce an entry in
+// Errors and a zero-value Compiled slot.
+func Compile(patterns []string, opts Options) *Result {
+	opts.setDefaults()
+	res := &Result{Regexes: make([]Compiled, len(patterns))}
+	for i, p := range patterns {
+		c, err := CompileOne(p, opts)
+		if err != nil {
+			res.Errors = append(res.Errors, fmt.Errorf("pattern %d %q: %w", i, p, err))
+			continue
+		}
+		c.Index = i
+		res.Regexes[i] = *c
+	}
+	return res
+}
+
+// CompileAllNFA compiles every pattern as a basic Glushkov NFA, the form
+// the CAMA and CA baselines execute and the "NFA mode" rows of Tables 2–3
+// ("We unfold all regexes to basic NFAs to obtain NFA mode results",
+// §5.4). The per-array capacity still applies.
+func CompileAllNFA(patterns []string, opts Options) *Result {
+	opts.setDefaults()
+	res := &Result{Regexes: make([]Compiled, len(patterns))}
+	for i, p := range patterns {
+		re, err := regexast.Parse(p)
+		if err != nil {
+			res.Errors = append(res.Errors, fmt.Errorf("pattern %d %q: %w", i, p, err))
+			continue
+		}
+		nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
+		if err != nil {
+			res.Errors = append(res.Errors, fmt.Errorf("pattern %d %q: %w", i, p, err))
+			continue
+		}
+		res.Regexes[i] = Compiled{
+			Index: i, Source: p, Mode: ModeNFA, NFA: nfa,
+			STEs: nfa.NumStates(), UnfoldedSTEs: nfa.NumStates(),
+			DecisionTrail: "forced NFA",
+		}
+	}
+	return res
+}
+
+// FromNFAs wraps pre-built homogeneous NFAs (e.g. imported from MNRL
+// files, the ANMLZoo distribution format) as an NFA-mode compile result
+// that the mapper and simulators accept directly. sources provides
+// per-automaton labels (pattern text or network ids); it may be nil.
+func FromNFAs(nfas []*automata.NFA, sources []string) *Result {
+	res := &Result{Regexes: make([]Compiled, len(nfas))}
+	for i, nfa := range nfas {
+		src := fmt.Sprintf("nfa-%d", i)
+		if i < len(sources) && sources[i] != "" {
+			src = sources[i]
+		}
+		res.Regexes[i] = Compiled{
+			Index: i, Source: src, Mode: ModeNFA, NFA: nfa,
+			STEs: nfa.NumStates(), UnfoldedSTEs: nfa.NumStates(),
+			DecisionTrail: "imported NFA",
+		}
+	}
+	return res
+}
+
+// CompileNoLNFA compiles with the LNFA route disabled: NBVA for large
+// bounded repetitions, NFA otherwise. This is the program BVAP executes
+// (it has bit-vector modules but no Shift-And datapath).
+func CompileNoLNFA(patterns []string, opts Options) *Result {
+	opts.setDefaults()
+	res := &Result{Regexes: make([]Compiled, len(patterns))}
+	for i, p := range patterns {
+		c, err := compileNoLNFAOne(p, opts)
+		if err != nil {
+			res.Errors = append(res.Errors, fmt.Errorf("pattern %d %q: %w", i, p, err))
+			continue
+		}
+		c.Index = i
+		res.Regexes[i] = *c
+	}
+	return res
+}
+
+func compileNoLNFAOne(pattern string, opts Options) (*Compiled, error) {
+	re, err := regexast.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Source: pattern}
+	if regexast.MaxRepeatBound(re.Root) > opts.UnfoldThreshold {
+		root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
+		if m, err := nbva.ConstructFromNode(root); err == nil && m.UnfoldedStates() <= opts.MaxNBVAUnfolded {
+			m.StartAnchored = re.StartAnchored
+			m.EndAnchored = re.EndAnchored
+			c.Mode = ModeNBVA
+			c.NBVA = m
+			c.STEs = m.NumStates()
+			c.BVBits = m.TotalBVBits()
+			c.UnfoldedSTEs = m.UnfoldedStates()
+			c.DecisionTrail = "NBVA (no-LNFA compile)"
+			return c, nil
+		}
+	}
+	nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
+	if err != nil {
+		return nil, err
+	}
+	c.Mode = ModeNFA
+	c.NFA = nfa
+	c.STEs = nfa.NumStates()
+	c.UnfoldedSTEs = nfa.NumStates()
+	c.DecisionTrail = "NFA (no-LNFA compile)"
+	return c, nil
+}
+
+// CompileOne compiles a single pattern through the decision graph.
+//
+// Fig 9 decision process:
+//
+//  1. Regexes containing a bounded repetition above the unfolding
+//     threshold whose repetitions are class-level (expressible with the
+//     set1/shift/r(n)/rAll actions) compile to NBVA.
+//  2. Otherwise, if the §4.2 rewriting turns the regex into a union of
+//     class sequences without growing past LinearBudgetFactor × states,
+//     it compiles to LNFA.
+//  3. Everything else compiles to NFA (classical Glushkov), subject to
+//     the per-array state capacity.
+func CompileOne(pattern string, opts Options) (*Compiled, error) {
+	opts.setDefaults()
+	re, err := regexast.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Source: pattern}
+
+	// Route 1: NBVA.
+	if regexast.MaxRepeatBound(re.Root) > opts.UnfoldThreshold {
+		root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
+		if m, err := nbva.ConstructFromNode(root); err == nil {
+			if m.UnfoldedStates() <= opts.MaxNBVAUnfolded {
+				m.StartAnchored = re.StartAnchored
+				m.EndAnchored = re.EndAnchored
+				c.Mode = ModeNBVA
+				c.NBVA = m
+				c.STEs = m.NumStates()
+				c.BVBits = m.TotalBVBits()
+				c.UnfoldedSTEs = m.UnfoldedStates()
+				c.DecisionTrail = "bounded repetition above threshold -> NBVA"
+				return c, nil
+			}
+			c.DecisionTrail += "NBVA capacity exceeded; "
+		} else {
+			c.DecisionTrail += "bounded repetition not BV-encodable; "
+		}
+	}
+
+	// Route 2: LNFA. Small bounded repetitions are unfolded first so a
+	// pattern like a{3}b linearizes.
+	if !re.StartAnchored && !re.EndAnchored && !regexast.Nullable(re.Root) {
+		unfolded := regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold)
+		baseStates := regexast.UnfoldedStates(re.Root)
+		budget := opts.LinearBudgetFactor * baseStates
+		// LNFA regexes live in one array like NFA ones (§3.3), so the
+		// budget is also capped by the array's state capacity.
+		if budget > opts.MaxNFAStates {
+			budget = opts.MaxNFAStates
+		}
+		if seqs, err := regexast.Linearize(unfolded, budget); err == nil {
+			total := 0
+			c.Seqs = make([]LinearSeq, len(seqs))
+			for i, s := range seqs {
+				ls := LinearSeq{Classes: s, CAMMappable: true}
+				for _, cls := range s {
+					if !charclass.SingleCode(cls) {
+						ls.CAMMappable = false
+					}
+				}
+				c.Seqs[i] = ls
+				total += len(s)
+			}
+			c.Mode = ModeLNFA
+			c.STEs = total
+			c.UnfoldedSTEs = baseStates
+			if baseStates > 0 {
+				c.LinearGrowth = float64(total) / float64(baseStates)
+			}
+			c.DecisionTrail += "linearizable within 2x -> LNFA"
+			return c, nil
+		}
+		c.DecisionTrail += "not linearizable; "
+	} else {
+		c.DecisionTrail += "anchored or nullable; "
+	}
+
+	// Route 3: NFA.
+	nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
+	if err != nil {
+		return nil, fmt.Errorf("compile: no mode fits: %w", err)
+	}
+	c.Mode = ModeNFA
+	c.NFA = nfa
+	c.STEs = nfa.NumStates()
+	c.UnfoldedSTEs = nfa.NumStates()
+	c.DecisionTrail += "fallback -> NFA"
+	return c, nil
+}

@@ -1,0 +1,319 @@
+// Package core is the public API of the RAP reproduction: it wires the
+// compiler (Fig 9 decision graph), the mapper (greedy placement, LNFA
+// binning, NBVA splitting) and the cycle-level simulator into a single
+// engine, and exposes the design-space exploration of §5.3 for choosing
+// the BV depth and LNFA bin size per workload.
+//
+// Typical use:
+//
+//	eng := core.NewDefault()
+//	prog, err := eng.Compile(patterns)
+//	rep, err := eng.Run(prog, input)
+//	fmt.Println(rep)                       // energy, area, throughput, ...
+//
+// For pure software matching (no hardware model) use Match, which runs
+// the Hyperscan-substitute reference matcher.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compile"
+	"repro/internal/mapper"
+	"repro/internal/refmatch"
+	"repro/internal/sim"
+)
+
+// Config controls compilation and mapping.
+type Config struct {
+	// Compile options (unfolding threshold, LNFA growth budget, ...).
+	Compile compile.Options
+	// Depth is the NBVA bit-vector depth; one of arch.BVDepths.
+	// Default 8.
+	Depth int
+	// BinSize is the LNFA bin size; at most arch.MaxBinSize. Default 8.
+	BinSize int
+	// SharePrefixes merges NFA-mode regexes with common literal prefixes
+	// into shared-trie union automata before mapping (the VASim-style
+	// optimization; see compile.ShareNFAPrefixes).
+	SharePrefixes bool
+}
+
+// Engine compiles and executes pattern sets on the modeled hardware.
+type Engine struct {
+	cfg Config
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// NewDefault returns an engine with the paper's default parameters.
+func NewDefault() *Engine { return New(Config{}) }
+
+// Program is a compiled and placed pattern set, ready to simulate.
+type Program struct {
+	Patterns  []string
+	Result    *compile.Result
+	Placement *arch.Placement
+	Depth     int
+	BinSize   int
+}
+
+// Compile runs the decision graph and the mapper. Patterns that fail to
+// compile are reported as an error (the engine is strict; use
+// compile.Compile directly for partial tolerance).
+func (e *Engine) Compile(patterns []string) (*Program, error) {
+	res := compile.Compile(patterns, e.cfg.Compile)
+	if len(res.Errors) != 0 {
+		return nil, fmt.Errorf("core: %d patterns failed, first: %w", len(res.Errors), res.Errors[0])
+	}
+	if e.cfg.SharePrefixes {
+		shared, err := compile.ShareNFAPrefixes(res, e.cfg.Compile)
+		if err != nil {
+			return nil, err
+		}
+		res = shared
+	}
+	mopts := mapper.Options{Depth: e.cfg.Depth, BinSize: e.cfg.BinSize}
+	placement, err := mapper.Map(res, mopts)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Patterns:  patterns,
+		Result:    res,
+		Placement: placement,
+		Depth:     mopts.Depth,
+		BinSize:   mopts.BinSize,
+	}
+	if prog.Depth == 0 {
+		prog.Depth = 8
+	}
+	if prog.BinSize == 0 {
+		prog.BinSize = 8
+	}
+	return prog, nil
+}
+
+// Run simulates the program over the input and returns the full report.
+func (e *Engine) Run(prog *Program, input []byte) (*sim.Report, error) {
+	return sim.SimulateRAP(prog.Result, prog.Placement, input)
+}
+
+// ModeShares returns the Fig 1 statistic for the program.
+func (p *Program) ModeShares() map[compile.Mode]float64 { return p.Result.ModeShares() }
+
+// AreaMM2 returns the placed area without running a simulation.
+func (p *Program) AreaMM2() float64 {
+	a := sim.RAPArea(p.Placement)
+	return a.TotalMM2()
+}
+
+// STEs returns the total hardware control states across modes.
+func (p *Program) STEs() int {
+	n := 0
+	for i := range p.Result.Regexes {
+		n += p.Result.Regexes[i].STEs
+	}
+	return n
+}
+
+// Baseline identifies a comparison architecture for RunBaseline.
+type Baseline string
+
+// Supported baselines.
+const (
+	BaselineRAPNFA Baseline = "RAP-NFA" // RAP hardware, everything unfolded to NFA
+	BaselineCAMA   Baseline = "CAMA"
+	BaselineCA     Baseline = "CA"
+	BaselineBVAP   Baseline = "BVAP"
+)
+
+// RunBaseline compiles and simulates the pattern set on a baseline
+// architecture (§5.2: same circuit models, same greedy mapping).
+func (e *Engine) RunBaseline(b Baseline, patterns []string, input []byte) (*sim.Report, error) {
+	switch b {
+	case BaselineRAPNFA:
+		res := compile.CompileAllNFA(patterns, e.cfg.Compile)
+		if len(res.Errors) != 0 {
+			return nil, fmt.Errorf("core: %w", res.Errors[0])
+		}
+		p, err := mapper.Map(res, mapper.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sim.SimulateRAP(res, p, input)
+		if err != nil {
+			return nil, err
+		}
+		rep.Arch = string(BaselineRAPNFA)
+		return rep, nil
+	case BaselineCAMA, BaselineCA:
+		res := compile.CompileAllNFA(patterns, e.cfg.Compile)
+		if len(res.Errors) != 0 {
+			return nil, fmt.Errorf("core: %w", res.Errors[0])
+		}
+		p, err := mapper.Map(res, mapper.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return sim.SimulateBaseline(string(b), res, p, input)
+	case BaselineBVAP:
+		res := compile.CompileNoLNFA(patterns, e.cfg.Compile)
+		if len(res.Errors) != 0 {
+			return nil, fmt.Errorf("core: %w", res.Errors[0])
+		}
+		p, err := sim.MapBVAP(res)
+		if err != nil {
+			return nil, err
+		}
+		return sim.SimulateBVAP(res, p, input)
+	default:
+		return nil, fmt.Errorf("core: unknown baseline %q", b)
+	}
+}
+
+// Match runs the software reference matcher (no hardware model).
+func (e *Engine) Match(patterns []string, input []byte) ([]refmatch.Match, error) {
+	m, err := refmatch.Compile(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return m.Scan(input), nil
+}
+
+// --- Design space exploration (§5.3) ----------------------------------
+
+// DSEPoint is one sweep sample.
+type DSEPoint struct {
+	Param          int
+	EnergyUJ       float64
+	AreaMM2        float64
+	ThroughputGchS float64
+}
+
+// ChooseDepth sweeps arch.BVDepths over the NBVA-compiled subset of the
+// patterns and returns the chosen depth plus the sweep points. The policy
+// follows §5.3: among depths whose throughput stays within 45% of the
+// best observed (the paper accepts ClamAV at 1.0 of 2.08 Gch/s), pick the one minimizing energy × area.
+func (e *Engine) ChooseDepth(patterns []string, input []byte) (int, []DSEPoint, error) {
+	points, err := e.sweepDepth(patterns, input)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(points) == 0 {
+		return 8, nil, nil
+	}
+	best := chooseByPolicy(points, 0.45)
+	return best, points, nil
+}
+
+func (e *Engine) sweepDepth(patterns []string, input []byte) ([]DSEPoint, error) {
+	res := compile.Compile(patterns, e.cfg.Compile)
+	if len(res.Errors) != 0 {
+		return nil, res.Errors[0]
+	}
+	nbva := res.ByMode(compile.ModeNBVA)
+	if len(nbva) == 0 {
+		return nil, nil
+	}
+	var subset []string
+	for _, c := range nbva {
+		subset = append(subset, c.Source)
+	}
+	var points []DSEPoint
+	for _, d := range arch.BVDepths {
+		sub := compile.Compile(subset, e.cfg.Compile)
+		if len(sub.Errors) != 0 {
+			return nil, sub.Errors[0]
+		}
+		p, err := mapper.Map(sub, mapper.Options{Depth: d, BinSize: e.cfg.BinSize})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sim.SimulateRAP(sub, p, input)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, DSEPoint{
+			Param: d, EnergyUJ: rep.EnergyUJ(), AreaMM2: rep.Area.TotalMM2(),
+			ThroughputGchS: rep.ThroughputGchS(),
+		})
+	}
+	return points, nil
+}
+
+// ChooseBinSize sweeps arch.BinSizes over the LNFA-compiled subset and
+// returns the chosen bin size plus the sweep points. Policy (§5.3): the
+// highest energy efficiency without a significant (>40%) area increase
+// over the smallest area observed.
+func (e *Engine) ChooseBinSize(patterns []string, input []byte) (int, []DSEPoint, error) {
+	res := compile.Compile(patterns, e.cfg.Compile)
+	if len(res.Errors) != 0 {
+		return 0, nil, res.Errors[0]
+	}
+	lnfa := res.ByMode(compile.ModeLNFA)
+	if len(lnfa) == 0 {
+		return 8, nil, nil
+	}
+	var subset []string
+	for _, c := range lnfa {
+		subset = append(subset, c.Source)
+	}
+	var points []DSEPoint
+	minArea := 0.0
+	for _, bs := range arch.BinSizes {
+		sub := compile.Compile(subset, e.cfg.Compile)
+		if len(sub.Errors) != 0 {
+			return 0, nil, sub.Errors[0]
+		}
+		p, err := mapper.Map(sub, mapper.Options{Depth: e.cfg.Depth, BinSize: bs})
+		if err != nil {
+			return 0, nil, err
+		}
+		rep, err := sim.SimulateRAP(sub, p, input)
+		if err != nil {
+			return 0, nil, err
+		}
+		pt := DSEPoint{Param: bs, EnergyUJ: rep.EnergyUJ(), AreaMM2: rep.Area.TotalMM2(),
+			ThroughputGchS: rep.ThroughputGchS()}
+		points = append(points, pt)
+		if minArea == 0 || pt.AreaMM2 < minArea {
+			minArea = pt.AreaMM2
+		}
+	}
+	best := points[0]
+	for _, pt := range points[1:] {
+		if pt.AreaMM2 <= minArea*1.4 && pt.EnergyUJ < best.EnergyUJ {
+			best = pt
+		} else if best.AreaMM2 > minArea*1.4 && pt.AreaMM2 <= minArea*1.4 {
+			best = pt
+		}
+	}
+	return best.Param, points, nil
+}
+
+// chooseByPolicy picks the param minimizing energy×area among points with
+// throughput ≥ tputFloor × best throughput.
+func chooseByPolicy(points []DSEPoint, tputFloor float64) int {
+	bestTput := 0.0
+	for _, p := range points {
+		if p.ThroughputGchS > bestTput {
+			bestTput = p.ThroughputGchS
+		}
+	}
+	best := points[0]
+	bestScore := best.EnergyUJ * best.AreaMM2
+	for _, p := range points[1:] {
+		if p.ThroughputGchS < tputFloor*bestTput {
+			continue
+		}
+		score := p.EnergyUJ * p.AreaMM2
+		if score < bestScore || (best.ThroughputGchS < tputFloor*bestTput) {
+			best = p
+			bestScore = score
+		}
+	}
+	return best.Param
+}

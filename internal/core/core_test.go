@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/workload"
+)
+
+func TestEngineEndToEnd(t *testing.T) {
+	eng := NewDefault()
+	patterns := []string{"needle", "x{100}y", "a(b|c)*d"}
+	prog, err := eng.Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.STEs() == 0 {
+		t.Error("no STEs")
+	}
+	shares := prog.ModeShares()
+	if len(shares) != 3 {
+		t.Errorf("shares = %v", shares)
+	}
+	if prog.AreaMM2() <= 0 {
+		t.Error("no area")
+	}
+	input := []byte("haystack with a needle in it")
+	rep, err := eng.Run(prog, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches == 0 {
+		t.Error("no matches")
+	}
+	matches, err := eng.Match(patterns, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(matches)) != rep.Matches {
+		t.Errorf("software %d vs hardware %d matches", len(matches), rep.Matches)
+	}
+}
+
+func TestEngineCompileError(t *testing.T) {
+	eng := NewDefault()
+	if _, err := eng.Compile([]string{"("}); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	eng := NewDefault()
+	patterns := []string{"cat", "b{40}e"}
+	input := []byte("a cat and " + string(make([]byte, 10)) + "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbe")
+	prog, err := eng.Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rapRep, err := eng.Run(prog, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Baseline{BaselineRAPNFA, BaselineCAMA, BaselineCA, BaselineBVAP} {
+		rep, err := eng.RunBaseline(b, patterns, input)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if rep.Matches != rapRep.Matches {
+			t.Errorf("%s matches = %d, RAP = %d", b, rep.Matches, rapRep.Matches)
+		}
+	}
+	if _, err := eng.RunBaseline("XYZ", patterns, input); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestChooseDepthSweep(t *testing.T) {
+	eng := NewDefault()
+	d := workload.MustGenerate("Yara", 0.15, 3)
+	input := d.Input(5000, 1)
+	depth, points, err := eng.ChooseDepth(d.Patterns, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	valid := map[int]bool{4: true, 8: true, 16: true, 32: true}
+	if !valid[depth] {
+		t.Errorf("chosen depth = %d", depth)
+	}
+	// Monotone area: deeper BVs never increase area.
+	for i := 1; i < len(points); i++ {
+		if points[i].AreaMM2 > points[i-1].AreaMM2+1e-9 {
+			t.Errorf("area not monotone: %v", points)
+		}
+	}
+}
+
+func TestChooseDepthNoNBVA(t *testing.T) {
+	eng := NewDefault()
+	depth, points, err := eng.ChooseDepth([]string{"abc"}, []byte("abc"))
+	if err != nil || depth != 8 || points != nil {
+		t.Errorf("depth=%d points=%v err=%v", depth, points, err)
+	}
+}
+
+func TestChooseBinSizeSweep(t *testing.T) {
+	eng := NewDefault()
+	d := workload.MustGenerate("Prosite", 0.3, 3)
+	input := d.Input(5000, 1)
+	bs, points, err := eng.ChooseBinSize(d.Patterns, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if bs < 1 || bs > 32 {
+		t.Errorf("chosen bin = %d", bs)
+	}
+}
+
+func TestProgramModeShares(t *testing.T) {
+	eng := NewDefault()
+	d := workload.MustGenerate("ClamAV", 0.1, 5)
+	prog, err := eng.Compile(d.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ModeShares()[compile.ModeNBVA] < 0.5 {
+		t.Errorf("ClamAV NBVA share = %v", prog.ModeShares())
+	}
+}

@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+)
+
+// Example demonstrates the basic compile-and-simulate flow.
+func Example() {
+	eng := core.NewDefault()
+	prog, err := eng.Compile([]string{"needle", "na{20,40}b", "x(y|z)*w"})
+	if err != nil {
+		panic(err)
+	}
+	for i := range prog.Result.Regexes {
+		c := &prog.Result.Regexes[i]
+		fmt.Printf("%s -> %s\n", c.Source, c.Mode)
+	}
+	rep, err := eng.Run(prog, []byte("a needle in a haystack"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("matches: %d, throughput: %.2f Gch/s\n", rep.Matches, rep.ThroughputGchS())
+	// Output:
+	// needle -> LNFA
+	// na{20,40}b -> NBVA
+	// x(y|z)*w -> NFA
+	// matches: 1, throughput: 2.08 Gch/s
+}
+
+// ExampleEngine_Match runs the pure-software reference matcher.
+func ExampleEngine_Match() {
+	eng := core.NewDefault()
+	matches, err := eng.Match([]string{"cat", "dog"}, []byte("catalog of dogs"))
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("pattern %d ends at %d\n", m.Pattern, m.End)
+	}
+	// Output:
+	// pattern 0 ends at 2
+	// pattern 1 ends at 13
+}
+
+// ExampleEngine_ChooseDepth shows the §5.3 design-space exploration.
+func ExampleEngine_ChooseDepth() {
+	eng := core.NewDefault()
+	patterns := []string{"header[0-9]{96}trailer"}
+	input := make([]byte, 2000)
+	for i := range input {
+		input[i] = 'x'
+	}
+	depth, points, err := eng.ChooseDepth(patterns, input)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("swept %d depths, chose %d\n", len(points), depth)
+	// Output:
+	// swept 4 depths, chose 4
+}
+
+// ExampleConfig_sharePrefixes shows the NFA prefix-sharing option.
+func ExampleConfig_sharePrefixes() {
+	patterns := []string{"get /a.*x", "get /b.*y", "get /c.*z"}
+	plain, _ := core.NewDefault().Compile(patterns)
+	shared, _ := core.New(core.Config{SharePrefixes: true}).Compile(patterns)
+	fmt.Printf("STEs without sharing: %d\n", plain.STEs())
+	fmt.Printf("STEs with sharing:    %d\n", shared.STEs())
+	// Output:
+	// STEs without sharing: 24
+	// STEs with sharing:    14
+}
+
+var _ = compile.ModeNFA // keep the compile import for the mode names above

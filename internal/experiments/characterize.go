@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/compile"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/regexast"
+	"repro/internal/workload"
+)
+
+// Characterize produces the workload-characterization table (the
+// ANMLZoo-style companion to Fig 1): per benchmark, structural statistics
+// of the pattern population — average states, bounded-repetition counts
+// and bounds, class sizes, and the capped DFA-size estimate that
+// motivates NFA-based execution (§2.1).
+func Characterize(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	t := &metrics.Table{
+		Name: "Workload characterization",
+		Header: []string{"Dataset", "Patterns", "Avg states", "Avg unfolded",
+			"BoundedReps/regex", "Max bound", "Avg class size", "Avg DFA (capped)",
+			"Mode NFA/NBVA/LNFA %", "Utilization %"},
+	}
+	const dfaCap = 4096
+	for _, name := range workload.Names {
+		d, _, err := cfg.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		res := compile.Compile(d.Patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			return nil, res.Errors[0]
+		}
+		var states, unfolded, bounded, maxBound int
+		var classSize float64
+		var dfaSum, dfaCount int
+		for _, p := range d.Patterns {
+			re, err := regexast.Parse(p)
+			if err != nil {
+				return nil, err
+			}
+			s := regexast.Analyze(re.Root)
+			states += s.States
+			unfolded += s.UnfoldedStates
+			bounded += s.BoundedRepetitions
+			if s.MaxBound > maxBound {
+				maxBound = s.MaxBound
+			}
+			classSize += regexast.AverageClassSize(re.Root)
+			// DFA estimate on a sample (cap keeps this cheap).
+			if dfaCount < 25 {
+				if nfa, err := automata.Glushkov(re, 8192); err == nil {
+					r := automata.DFASize(nfa, dfaCap)
+					dfaSum += r.States
+					dfaCount++
+				}
+			}
+		}
+		n := float64(len(d.Patterns))
+		shares := res.ModeShares()
+		avgDFA := 0.0
+		if dfaCount > 0 {
+			avgDFA = float64(dfaSum) / float64(dfaCount)
+		}
+		p, err := mapper.Map(res, mapper.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, len(d.Patterns),
+			float64(states)/n, float64(unfolded)/n,
+			float64(bounded)/n, maxBound, classSize/n, avgDFA,
+			sharesCell(shares), 100*p.Utilization())
+	}
+	if err := cfg.saveTable(t, "characterize.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func sharesCell(s map[compile.Mode]float64) string {
+	return fmt.Sprintf("%.0f/%.0f/%.0f",
+		100*s[compile.ModeNFA], 100*s[compile.ModeNBVA], 100*s[compile.ModeLNFA])
+}

@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic workloads: Fig 1 (model proportions),
+// Fig 10 (design space exploration), Table 2 (NBVA mode vs NFA mode and
+// ASICs), Table 3 (LNFA mode vs NFA mode and ASICs), Fig 11 (per-mode
+// breakdown), Fig 12 (overall ASIC comparison), Fig 13 (CPU/GPU
+// comparison) and Table 4 (FPGA comparison on ANMLZoo).
+//
+// Absolute energy/area values differ from the paper (smaller synthetic
+// pattern sets), but the comparative shapes — who wins and by roughly what
+// factor — are the reproduction targets recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config controls the scale of every experiment.
+type Config struct {
+	// Scale multiplies the per-dataset pattern counts (1.0 = full
+	// synthetic size). Default 1.0.
+	Scale float64
+	// Seed makes workload generation deterministic. Default 1.
+	Seed int64
+	// InputLen is the number of input characters (the paper uses
+	// 100,000). Default 100000.
+	InputLen int
+	// OutDir, when set, receives CSV/JSON outputs per experiment.
+	OutDir string
+	// Parallel runs the per-dataset work of an experiment concurrently
+	// (results are still emitted in dataset order).
+	Parallel bool
+}
+
+// parMap applies fn to every name — concurrently when parallel — and
+// returns the results in input order. The first error wins.
+func parMap[T any](parallel bool, names []string, fn func(string) (T, error)) ([]T, error) {
+	out := make([]T, len(names))
+	if !parallel {
+		for i, name := range names {
+			v, err := fn(name)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			out[i], errs[i] = fn(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *Config) setDefaults() {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.InputLen == 0 {
+		c.InputLen = 100000
+	}
+}
+
+// dataset loads (generates) one benchmark at the configured scale.
+func (c *Config) dataset(name string) (*workload.Dataset, []byte, error) {
+	d, err := workload.Generate(name, c.Scale, c.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, d.Input(c.InputLen, c.Seed+100), nil
+}
+
+// subsetByMode compiles the dataset and returns the source patterns of
+// one mode.
+func subsetByMode(patterns []string, m compile.Mode) ([]string, error) {
+	res := compile.Compile(patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		return nil, res.Errors[0]
+	}
+	var out []string
+	for _, cc := range res.ByMode(m) {
+		out = append(out, cc.Source)
+	}
+	return out, nil
+}
+
+// runRAPOn compiles+maps+simulates a pattern subset on RAP with explicit
+// parameters.
+func runRAPOn(patterns []string, input []byte, depth, binSize int) (*sim.Report, error) {
+	res := compile.Compile(patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		return nil, res.Errors[0]
+	}
+	p, err := mapper.Map(res, mapper.Options{Depth: depth, BinSize: binSize})
+	if err != nil {
+		return nil, err
+	}
+	return sim.SimulateRAP(res, p, input)
+}
+
+// runBaselineOn runs one of the §5 baselines on a pattern subset.
+func runBaselineOn(b core.Baseline, patterns []string, input []byte) (*sim.Report, error) {
+	return core.NewDefault().RunBaseline(b, patterns, input)
+}
+
+// saveTable writes the table to OutDir when configured.
+func (c *Config) saveTable(t *metrics.Table, file string) error {
+	if c.OutDir == "" {
+		return nil
+	}
+	return t.SaveCSV(c.OutDir + "/" + file)
+}
+
+// chosenParams runs the §5.3 DSE for one dataset and returns (depth,
+// binSize) plus the sweep points for Fig 10.
+func chosenParams(patterns []string, input []byte) (int, []core.DSEPoint, int, []core.DSEPoint, error) {
+	eng := core.NewDefault()
+	depth, dPoints, err := eng.ChooseDepth(patterns, input)
+	if err != nil {
+		return 0, nil, 0, nil, fmt.Errorf("depth DSE: %w", err)
+	}
+	bin, bPoints, err := eng.ChooseBinSize(patterns, input)
+	if err != nil {
+		return 0, nil, 0, nil, fmt.Errorf("bin DSE: %w", err)
+	}
+	return depth, dPoints, bin, bPoints, nil
+}
+
+// nbvaModeAreaMM2 returns the area of the NBVA-mode arrays of a placement
+// (used by the Fig 12 throughput-replication adjustment).
+func nbvaModeAreaMM2(p *arch.Placement) float64 {
+	tiles := 0
+	arrays := 0
+	for i := range p.Arrays {
+		if p.Arrays[i].Mode != arch.ModeNBVA {
+			continue
+		}
+		arrays++
+		tiles += p.Arrays[i].TilesUsed()
+	}
+	if arrays == 0 {
+		return 0
+	}
+	sub := &arch.Placement{Arrays: make([]arch.ArrayPlan, 0, arrays)}
+	for i := range p.Arrays {
+		if p.Arrays[i].Mode == arch.ModeNBVA {
+			sub.Arrays = append(sub.Arrays, p.Arrays[i])
+		}
+	}
+	a := sim.RAPArea(sub)
+	return a.TotalMM2()
+}

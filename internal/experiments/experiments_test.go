@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// small returns a config fast enough for unit tests.
+func small() Config { return Config{Scale: 0.08, Seed: 3, InputLen: 3000} }
+
+func TestFig1(t *testing.T) {
+	tb, err := Fig1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Shares per row sum to ~100.
+	for _, r := range tb.Rows {
+		sum := 0.0
+		for _, c := range r[2:] {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", c)
+			}
+			sum += v
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("%s shares sum to %v", r[0], sum)
+		}
+	}
+}
+
+func TestFig10a(t *testing.T) {
+	tb, err := Fig10a(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	chosen := 0
+	for _, r := range tb.Rows {
+		if r[5] == "*" {
+			chosen++
+		}
+		// Area normalized to depth 4 never exceeds 1 (+epsilon).
+		a, _ := strconv.ParseFloat(r[3], 64)
+		if a > 1.001 {
+			t.Errorf("%s depth %s area norm %v > 1", r[0], r[1], a)
+		}
+	}
+	if chosen == 0 {
+		t.Error("no chosen depth marked")
+	}
+}
+
+func TestFig10b(t *testing.T) {
+	tb, err := Fig10b(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	tb, err := Table2(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	f := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("cell %q", s)
+		}
+		return v
+	}
+	// The paper itself shows NBVA ≈ NFA on RegexLib ("the ratio and size
+	// of BVs are both low"); the strict win is asserted on the BV-heavy
+	// benchmarks only.
+	bvHeavy := map[string]bool{"Snort": true, "Suricata": true, "Yara": true, "ClamAV": true}
+	for _, r := range tb.Rows {
+		if strings.HasPrefix(r[0], "Average") || !bvHeavy[r[0]] {
+			continue
+		}
+		eNBVA, eNFA := f(r[1]), f(r[2])
+		aNBVA, aNFA, aCA := f(r[6]), f(r[7]), f(r[10])
+		if eNBVA >= eNFA {
+			t.Errorf("%s: NBVA energy %v >= NFA %v", r[0], eNBVA, eNFA)
+		}
+		if aNBVA >= aNFA {
+			t.Errorf("%s: NBVA area %v >= NFA %v", r[0], aNBVA, aNFA)
+		}
+		if aCA <= aNFA*0.9 {
+			t.Errorf("%s: CA area %v should exceed RAP-NFA-ish %v", r[0], aCA, aNFA)
+		}
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	tb, err := Table3(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	for _, r := range tb.Rows {
+		if strings.HasPrefix(r[0], "Average") {
+			continue
+		}
+		eLNFA, eNFA := f(r[1]), f(r[2])
+		if eLNFA >= eNFA {
+			t.Errorf("%s: LNFA energy %v >= NFA %v", r[0], eLNFA, eNFA)
+		}
+		tLNFA, tNFA := f(r[11]), f(r[12])
+		if tLNFA != tNFA {
+			t.Errorf("%s: LNFA throughput %v != NFA %v", r[0], tLNFA, tNFA)
+		}
+	}
+}
+
+func TestFig11SharesSum(t *testing.T) {
+	tb, err := Fig11(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	sumPct := func(col int) float64 {
+		s := 0.0
+		for _, r := range tb.Rows {
+			v, _ := strconv.ParseFloat(r[col], 64)
+			s += v
+		}
+		return s
+	}
+	for _, col := range []int{2, 4, 6} {
+		if s := sumPct(col); s < 99 || s > 101 {
+			t.Errorf("column %d sums to %v", col, s)
+		}
+	}
+}
+
+func TestFig12(t *testing.T) {
+	tb, err := Fig12(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7*4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Every dataset leads with the RAP row.
+	if tb.Rows[0][1] != "RAP" {
+		t.Errorf("first row arch = %s", tb.Rows[0][1])
+	}
+}
+
+func TestFig13EfficiencyGaps(t *testing.T) {
+	cfg := small()
+	tb, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		gpuGap := strings.TrimSuffix(r[7], "x")
+		v, err := strconv.ParseFloat(gpuGap, 64)
+		if err != nil {
+			t.Fatalf("cell %q", r[7])
+		}
+		if v < 20 {
+			t.Errorf("%s: RAP/GPU efficiency gap only %vx", r[0], v)
+		}
+		cpuGap := strings.TrimSuffix(r[8], "x")
+		c, _ := strconv.ParseFloat(cpuGap, 64)
+		if c < 100 {
+			t.Errorf("%s: RAP/CPU efficiency gap only %vx", r[0], c)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tb, err := Table4(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		ratio := strings.TrimSuffix(r[5], "x")
+		v, _ := strconv.ParseFloat(ratio, 64)
+		if v < 5 {
+			t.Errorf("%s: throughput ratio %vx too low", r[0], v)
+		}
+	}
+}
+
+func TestRunDispatchAndSave(t *testing.T) {
+	cfg := small()
+	cfg.OutDir = t.TempDir()
+	if _, err := Run("fig1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "fig1.csv")); err != nil {
+		t.Error("fig1.csv not written")
+	}
+	if _, err := Run("nope", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	tb, err := Ablation(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no ablation rows")
+	}
+	kinds := map[string]bool{}
+	for _, r := range tb.Rows {
+		kinds[r[0]] = true
+	}
+	for _, k := range []string{"buffering", "mode-removal", "unfold-threshold"} {
+		if !kinds[k] {
+			t.Errorf("missing ablation kind %q", k)
+		}
+	}
+	// Buffering rows come in triples with lockstep <= windowed <= unlimited.
+	var lock, win, unl float64
+	for _, r := range tb.Rows {
+		if r[0] != "buffering" {
+			continue
+		}
+		v, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			t.Fatalf("cell %q", r[3])
+		}
+		switch r[2] {
+		case "lockstep (none)":
+			lock = v
+		case "two-level (128+8)":
+			win = v
+		case "unlimited":
+			unl = v
+			if lock > win+1e-9 || win > unl+1e-9 {
+				t.Errorf("%s: buffering order violated: %v %v %v", r[1], lock, win, unl)
+			}
+		}
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	tb, err := Characterize(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// ClamAV's unfolded blowup must dwarf its written size.
+	for _, r := range tb.Rows {
+		if r[0] != "ClamAV" {
+			continue
+		}
+		written, _ := strconv.ParseFloat(r[2], 64)
+		unfolded, _ := strconv.ParseFloat(r[3], 64)
+		if unfolded < 3*written {
+			t.Errorf("ClamAV unfolded %v not >> written %v", unfolded, written)
+		}
+	}
+}
+
+func TestCharacterizeUtilization(t *testing.T) {
+	cfg := small()
+	cfg.Scale = 0.3 // utilization needs more than a tile or two
+	tb, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		u, err := strconv.ParseFloat(r[9], 64)
+		if err != nil {
+			t.Fatalf("cell %q", r[9])
+		}
+		if u < 50 {
+			t.Errorf("%s: utilization %.1f%% far below the §4.3 target", r[0], u)
+		}
+	}
+}
+
+func TestFlows(t *testing.T) {
+	tb, err := Flows(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Throughput roughly never increases with flow count (small inputs
+	// are noisy: per-flow trigger patterns shift, so allow slack), and
+	// the single-flow row has zero switch-energy share.
+	var prev float64
+	var prevDataset string
+	for _, r := range tb.Rows {
+		tput, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatalf("cell %q", r[2])
+		}
+		if r[0] == prevDataset && tput > prev*1.5 {
+			t.Errorf("%s flows %s: throughput rose %v -> %v", r[0], r[1], prev, tput)
+		}
+		if r[1] == "1" {
+			share, _ := strconv.ParseFloat(r[4], 64)
+			if share != 0 {
+				t.Errorf("%s: single flow has switch share %v", r[0], share)
+			}
+		}
+		prev, prevDataset = tput, r[0]
+	}
+}

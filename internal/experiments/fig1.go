@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"repro/internal/compile"
+	"repro/internal/metrics"
+)
+
+// Fig1 reproduces Figure 1: the proportion of regexes in each benchmark
+// representable by the NFA, NBVA and LNFA models, as classified by the
+// actual compiler decision graph.
+func Fig1(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	t := &metrics.Table{
+		Name:   "Fig 1: regex model proportions per benchmark",
+		Header: []string{"Dataset", "Patterns", "NFA %", "NBVA %", "LNFA %"},
+	}
+	for _, name := range datasetOrderFig1 {
+		d, _, err := cfg.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		res := compile.Compile(d.Patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			return nil, res.Errors[0]
+		}
+		s := res.ModeShares()
+		t.AddRow(name, len(d.Patterns),
+			100*s[compile.ModeNFA], 100*s[compile.ModeNBVA], 100*s[compile.ModeLNFA])
+	}
+	if err := cfg.saveTable(t, "fig1.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+var datasetOrderFig1 = []string{"RegexLib", "Prosite", "SpamAssassin", "Snort", "Suricata", "Yara", "ClamAV"}

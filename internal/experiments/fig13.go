@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/extern"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig13 reproduces Figure 13: power and throughput of RAP against the GPU
+// (HybridSA) and CPU (Hyperscan) solutions per benchmark. The CPU column
+// measures the real throughput of the in-repo software matcher on the
+// host; the GPU column uses the analytical model (DESIGN.md substitution
+// #3). The reproduction target is the >100× / >1000× energy-efficiency
+// gap.
+func Fig13(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	t := &metrics.Table{
+		Name: "Fig 13: RAP vs GPU (HybridSA) and CPU (software matcher)",
+		Header: []string{"Dataset",
+			"RAP T", "RAP P(W)", "GPU T", "GPU P(W)", "CPU T", "CPU P(W)",
+			"Eff RAP/GPU", "Eff RAP/CPU"},
+	}
+	gpu := extern.GPUModel()
+	for _, name := range workload.Names {
+		d, input, err := cfg.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		rap, err := rapSystemReport(d.Patterns, input)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		cpu, err := extern.MeasureCPU(d.Patterns, input, 30*time.Millisecond)
+		if err != nil {
+			return nil, fmt.Errorf("%s CPU: %w", name, err)
+		}
+		rapEff := rap.EnergyEfficiency()
+		t.AddRow(name,
+			rap.ThroughputGchS(), rap.PowerW(),
+			gpu.ThroughputGchS, gpu.PowerW,
+			cpu.ThroughputGchS, cpu.PowerW,
+			fmt.Sprintf("%.0fx", rapEff/gpu.EnergyEfficiency()),
+			fmt.Sprintf("%.0fx", rapEff/cpu.EnergyEfficiency()))
+	}
+	if err := cfg.saveTable(t, "fig13.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Experiment names accepted by Run.
+var Names = []string{"fig1", "fig10a", "fig10b", "table2", "table3", "fig11", "fig12", "fig13", "table4", "ablation", "characterize", "flows"}
+
+// Run dispatches one experiment by name.
+func Run(name string, cfg Config) (*metrics.Table, error) {
+	switch name {
+	case "fig1":
+		return Fig1(cfg)
+	case "fig10a":
+		return Fig10a(cfg)
+	case "fig10b":
+		return Fig10b(cfg)
+	case "table2":
+		return Table2(cfg)
+	case "table3":
+		return Table3(cfg)
+	case "fig11":
+		return Fig11(cfg)
+	case "fig12":
+		return Fig12(cfg)
+	case "fig13":
+		return Fig13(cfg)
+	case "table4":
+		return Table4(cfg)
+	case "ablation":
+		return Ablation(cfg)
+	case "characterize":
+		return Characterize(cfg)
+	case "flows":
+		return Flows(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
+	}
+}
+
+// RunAll runs every experiment in order.
+func RunAll(cfg Config) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, name := range Names {
+		t, err := Run(name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/extern"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Table4 reproduces Table 4: RAP against the hAP FPGA design on the
+// ANMLZoo benchmarks (synthetic stand-ins; the hAP column reproduces the
+// published numbers). The reproduction target is the 11×+ throughput
+// advantage at a modest power increase.
+func Table4(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	t := &metrics.Table{
+		Name: "Table 4: RAP vs hAP (FPGA) on ANMLZoo",
+		Header: []string{"Dataset", "RAP Power (W)", "RAP Thpt (Gch/s)",
+			"hAP Power (W)", "hAP Thpt (Gch/s)", "Thpt ratio"},
+	}
+	for _, name := range workload.ANMLZooNames {
+		d, err := workload.GenerateANMLZoo(name, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		input := d.Input(cfg.InputLen, cfg.Seed+200)
+		rap, err := rapSystemReport(d.Patterns, input)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		hap, ok := extern.HAPFor(name)
+		if !ok {
+			return nil, fmt.Errorf("no hAP data for %s", name)
+		}
+		t.AddRow(name, rap.PowerW(), rap.ThroughputGchS(),
+			hap.PowerW, hap.ThroughputGchS,
+			metrics.Ratio(rap.ThroughputGchS(), hap.ThroughputGchS))
+	}
+	if err := cfg.saveTable(t, "table_4.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

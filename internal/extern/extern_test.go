@@ -1,0 +1,67 @@
+package extern
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasureCPU(t *testing.T) {
+	rep, err := MeasureCPU([]string{"abc", "x{30}y"}, []byte("some input with abc in it"), 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThroughputGchS <= 0 {
+		t.Error("zero throughput")
+	}
+	if rep.PowerW != CPUSocketPowerW {
+		t.Error("wrong power")
+	}
+	if rep.EnergyEfficiency() <= 0 {
+		t.Error("zero efficiency")
+	}
+}
+
+func TestMeasureCPUErrors(t *testing.T) {
+	if _, err := MeasureCPU([]string{"abc"}, nil, 0); err != ErrEmptyInput {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := MeasureCPU([]string{"("}, []byte("x"), 0); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestGPUModel(t *testing.T) {
+	g := GPUModel()
+	if g.ThroughputGchS <= 0.1 || g.ThroughputGchS >= 0.5 {
+		t.Errorf("GPU throughput = %v", g.ThroughputGchS)
+	}
+	if g.PowerW != GPUBoardPowerW {
+		t.Error("wrong GPU power")
+	}
+}
+
+func TestHAPTable(t *testing.T) {
+	if len(HAPTable4) != 5 {
+		t.Fatal("Table 4 rows")
+	}
+	h, ok := HAPFor("Snort")
+	if !ok || h.PowerW != 1.41 || h.ThroughputGchS != 0.15 {
+		t.Errorf("Snort row = %+v", h)
+	}
+	if _, ok := HAPFor("Nope"); ok {
+		t.Error("unknown dataset found")
+	}
+}
+
+func TestEfficiencyGapShape(t *testing.T) {
+	// The Fig 13 claim shape: an ASIC at ~2 Gch/s and ~2 W is >100× the
+	// GPU's efficiency and >1000× the CPU's.
+	asicEff := 2.08 / 2.0
+	if asicEff/GPUModel().EnergyEfficiency() < 100 {
+		t.Error("GPU efficiency gap below 100x")
+	}
+	cpuEff := 0.03 / CPUSocketPowerW // generous CPU throughput
+	if asicEff/cpuEff < 1000 {
+		t.Error("CPU efficiency gap below 1000x")
+	}
+}

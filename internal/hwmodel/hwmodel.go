@@ -1,0 +1,78 @@
+// Package hwmodel encodes the circuit-level models of Table 1 (§5.2):
+// access energy, delay, area and leakage of the 8T-SRAM fully-connected
+// crossbars (FCB), the repurposed 8T-CAM, controllers and global wires,
+// all in the TSMC 28nm process the paper evaluates in. The paper's own
+// cycle simulator consumes exactly these constants; re-encoding them (and
+// the activity-dependent energy interpolation) preserves every
+// architecture comparison.
+package hwmodel
+
+// Component models one circuit block from Table 1. Energy is
+// data-dependent for the SRAM switches — the paper quotes a min-max range
+// — and is interpolated linearly with activity.
+type Component struct {
+	EnergyMinPJ float64 // access energy at minimal activity
+	EnergyMaxPJ float64 // access energy at full activity
+	DelayPS     float64
+	AreaUM2     float64
+	LeakageUA   float64
+}
+
+// AccessEnergyPJ returns the access energy for one operation with the
+// given activity factor in [0,1] (e.g. fraction of crossbar rows driven).
+func (c Component) AccessEnergyPJ(activity float64) float64 {
+	if activity < 0 {
+		activity = 0
+	}
+	if activity > 1 {
+		activity = 1
+	}
+	return c.EnergyMinPJ + (c.EnergyMaxPJ-c.EnergyMinPJ)*activity
+}
+
+// LeakagePowerW returns the static power of the block at the given supply
+// voltage.
+func (c Component) LeakagePowerW(vddV float64) float64 {
+	return c.LeakageUA * 1e-6 * vddV
+}
+
+// Table 1 circuit models in 28nm.
+var (
+	// SRAM128 is the 128×128 8T-SRAM used as the local switch FCB.
+	SRAM128 = Component{EnergyMinPJ: 1, EnergyMaxPJ: 14, DelayPS: 298, AreaUM2: 5655, LeakageUA: 57}
+	// SRAM256 is the 256×256 8T-SRAM used as the array global switch FCB.
+	SRAM256 = Component{EnergyMinPJ: 2, EnergyMaxPJ: 55, DelayPS: 410, AreaUM2: 18153, LeakageUA: 228}
+	// CAM is the 32×128 8T-CAM used for state matching (and, in RAP's
+	// NBVA mode, for bit-vector storage).
+	CAM = Component{EnergyMinPJ: 4, EnergyMaxPJ: 4, DelayPS: 325, AreaUM2: 2626, LeakageUA: 14}
+	// LocalController is RAP's per-tile mode controller.
+	LocalController = Component{EnergyMinPJ: 2, EnergyMaxPJ: 2, DelayPS: 90, AreaUM2: 2900, LeakageUA: 18}
+	// GlobalController is the per-array controller.
+	GlobalController = Component{EnergyMinPJ: 2, EnergyMaxPJ: 2, DelayPS: 400, AreaUM2: 1400, LeakageUA: 9}
+	// GlobalWire is 1mm of global wiring.
+	GlobalWire = Component{EnergyMinPJ: 0.07, EnergyMaxPJ: 0.07, DelayPS: 66, AreaUM2: 50}
+)
+
+// SupplyVoltage is the nominal 28nm supply used to convert leakage current
+// to power.
+const SupplyVoltage = 0.9 // V
+
+// Clock frequencies in GHz (§5.2 and Tables 2–3 throughput rows). All
+// include the paper's 10% safety margin.
+const (
+	ClockRAPGHz  = 2.08 // largest pipeline stage 436.1 ps
+	ClockCAMAGHz = 2.14
+	ClockCAGHz   = 1.82
+	ClockBVAPGHz = 2.00
+)
+
+// GlobalWireMMPerHop is the average global wire length per cross-tile hop,
+// estimated from CA's data as in the paper (RAP tile ≈ CAMA tile, wire
+// delay 26.1 ps => ~0.4mm per hop at 66 ps/mm).
+const GlobalWireMMPerHop = 0.4
+
+// PicojoulesToJoules converts pJ to J.
+const PicojoulesToJoules = 1e-12
+
+// UM2ToMM2 converts µm² to mm².
+const UM2ToMM2 = 1e-6

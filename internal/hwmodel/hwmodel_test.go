@@ -1,0 +1,84 @@
+package hwmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessEnergyInterpolation(t *testing.T) {
+	if got := SRAM128.AccessEnergyPJ(0); got != 1 {
+		t.Errorf("min energy = %v", got)
+	}
+	if got := SRAM128.AccessEnergyPJ(1); got != 14 {
+		t.Errorf("max energy = %v", got)
+	}
+	mid := SRAM128.AccessEnergyPJ(0.5)
+	if mid != 7.5 {
+		t.Errorf("mid energy = %v", mid)
+	}
+	// Clamping.
+	if SRAM128.AccessEnergyPJ(-1) != 1 || SRAM128.AccessEnergyPJ(2) != 14 {
+		t.Error("activity not clamped")
+	}
+}
+
+func TestConstantEnergyComponents(t *testing.T) {
+	for _, a := range []float64{0, 0.3, 1} {
+		if CAM.AccessEnergyPJ(a) != 4 {
+			t.Errorf("CAM energy at %v = %v", a, CAM.AccessEnergyPJ(a))
+		}
+		if LocalController.AccessEnergyPJ(a) != 2 {
+			t.Error("controller energy not constant")
+		}
+	}
+}
+
+func TestLeakagePower(t *testing.T) {
+	// 57 µA at 0.9 V = 51.3 µW.
+	got := SRAM128.LeakagePowerW(SupplyVoltage)
+	want := 57e-6 * 0.9
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("leakage = %v, want %v", got, want)
+	}
+}
+
+func TestPropEnergyMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		// normalize into [0,1]
+		a = clamp01(a)
+		b = clamp01(b)
+		if a > b {
+			a, b = b, a
+		}
+		return SRAM256.AccessEnergyPJ(a) <= SRAM256.AccessEnergyPJ(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x != x || x < 0 { // NaN or negative
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func TestTableOneValues(t *testing.T) {
+	// Spot-check against Table 1.
+	if CAM.AreaUM2 != 2626 || CAM.DelayPS != 325 || CAM.LeakageUA != 14 {
+		t.Error("CAM constants drifted from Table 1")
+	}
+	if SRAM256.AreaUM2 != 18153 || SRAM256.LeakageUA != 228 {
+		t.Error("SRAM256 constants drifted from Table 1")
+	}
+	if GlobalWire.EnergyMinPJ != 0.07 || GlobalWire.AreaUM2 != 50 {
+		t.Error("wire constants drifted from Table 1")
+	}
+	if ClockRAPGHz != 2.08 || ClockCAMAGHz != 2.14 || ClockCAGHz != 1.82 {
+		t.Error("clock constants drifted")
+	}
+}

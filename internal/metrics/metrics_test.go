@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Name: "Demo", Header: []string{"Dataset", "Energy (µJ)", "Area (mm²)"}}
+	t.AddRow("Snort", 188.0, 3.67)
+	t.AddRow("ClamAV", 1632.0, 35.0)
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "Snort") {
+		t.Errorf("table rendering:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), s)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := &Table{Header: []string{"v"}}
+	tb.AddRow(0.0)
+	tb.AddRow(3.14159)
+	tb.AddRow(42.5)
+	tb.AddRow(1234.56)
+	want := []string{"0", "3.142", "42.5", "1235"}
+	for i, w := range want {
+		if tb.Rows[i][0] != w {
+			t.Errorf("row %d = %q, want %q", i, tb.Rows[i][0], w)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Dataset,") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestSaveCSVAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "sub", "t.csv")
+	if err := sample().SaveCSV(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "sub2", "t.json")
+	if err := SaveJSON(jsonPath, sample()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"Snort\"") {
+		t.Error("json content wrong")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != "1.50x" {
+		t.Errorf("Ratio = %q", Ratio(3, 2))
+	}
+	if Ratio(1, 0) != "n/a" {
+		t.Error("division by zero not handled")
+	}
+}

@@ -1,0 +1,182 @@
+package nbva
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// This file implements the nondeterministic counter automaton (NCA) view
+// of an NBVA (§2.1: bit vectors "correspond to sets of counter values in
+// the closely related model of nondeterministic counter automata"). A
+// BV-STE's vector with bit i set is the counter set containing value i+1.
+//
+// The CounterRunner executes the same Machine with explicit sorted
+// counter-value sets instead of bit vectors. It exists as an independent
+// second implementation of the NBVA semantics: the property tests assert
+// Runner and CounterRunner agree on every input, which guards the
+// bit-level shift/set1/read/overflow logic against off-by-one drift.
+
+// CounterRunner executes a Machine using counter-set semantics.
+type CounterRunner struct {
+	m        *Machine
+	enabled  bitvec.Vector
+	initial  bitvec.Vector
+	counters map[int][]int // BV-STE state -> sorted counter values (ascending)
+	readOK   map[int]bool
+	pos      int
+}
+
+// NewCounterRunner creates a counter-based runner in the initial
+// configuration.
+func NewCounterRunner(m *Machine) *CounterRunner {
+	r := &CounterRunner{
+		m:        m,
+		enabled:  bitvec.New(len(m.States)),
+		initial:  bitvec.New(len(m.States)),
+		counters: map[int][]int{},
+		readOK:   map[int]bool{},
+	}
+	for _, q := range m.Initial {
+		r.initial.Set(q)
+	}
+	r.Reset()
+	return r
+}
+
+// Reset restores the initial configuration.
+func (r *CounterRunner) Reset() {
+	r.enabled.Reset()
+	r.enabled.Or(r.initial)
+	for k := range r.counters {
+		delete(r.counters, k)
+	}
+	for k := range r.readOK {
+		delete(r.readOK, k)
+	}
+	r.pos = 0
+}
+
+// Step consumes one byte and reports whether a match ends at it.
+func (r *CounterRunner) Step(b byte) bool {
+	m := r.m
+	matched := map[int]bool{}
+	for i := range m.States {
+		s := &m.States[i]
+		if s.BV == nil {
+			if r.enabled.Get(i) && s.Class.Contains(b) {
+				matched[i] = true
+			}
+			continue
+		}
+		vals := r.counters[i]
+		entry := r.enabled.Get(i)
+		if !s.Class.Contains(b) {
+			delete(r.counters, i)
+			r.readOK[i] = false
+			continue
+		}
+		if !entry && len(vals) == 0 {
+			r.readOK[i] = false
+			continue
+		}
+		// Increment every live counter (the shift action), dropping those
+		// that exceed the vector size (the overflow check), and start a
+		// new counter at 1 on entry (the set1 action).
+		next := vals[:0]
+		for _, v := range vals {
+			if v+1 <= s.BV.Size {
+				next = append(next, v+1)
+			}
+		}
+		if entry {
+			next = insertSorted(next, 1)
+		}
+		if len(next) == 0 {
+			delete(r.counters, i)
+			r.readOK[i] = false
+			continue
+		}
+		r.counters[i] = next
+		switch s.BV.Read {
+		case ReadExact:
+			r.readOK[i] = containsSorted(next, s.BV.Size)
+		case ReadAll:
+			r.readOK[i] = true
+		}
+		matched[i] = true
+	}
+	// Transition.
+	nextEnabled := bitvec.New(len(m.States))
+	match := false
+	for i := range m.States {
+		if !matched[i] {
+			continue
+		}
+		s := &m.States[i]
+		if s.BV != nil && !r.readOK[i] {
+			continue
+		}
+		for _, q := range s.Follow {
+			nextEnabled.Set(q)
+		}
+		if isFinal(m, i) {
+			match = true
+		}
+	}
+	r.enabled = nextEnabled
+	if !m.StartAnchored {
+		r.enabled.Or(r.initial)
+	}
+	r.pos++
+	return match
+}
+
+// CounterSet returns the sorted counter values of a BV-STE (nil when
+// empty), for white-box tests.
+func (r *CounterRunner) CounterSet(state int) []int {
+	return append([]int(nil), r.counters[state]...)
+}
+
+func isFinal(m *Machine, q int) bool {
+	for _, f := range m.Final {
+		if f == q {
+			return true
+		}
+	}
+	return false
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func containsSorted(s []int, v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// MatchEndsCounter runs the counter-semantics runner over input and
+// returns match end offsets, mirroring Machine.MatchEnds.
+func (m *Machine) MatchEndsCounter(input []byte) []int {
+	var ends []int
+	if m.MatchesEmpty {
+		ends = append(ends, -1)
+	}
+	r := NewCounterRunner(m)
+	for i, b := range input {
+		if r.Step(b) {
+			if !m.EndAnchored || i == len(input)-1 {
+				ends = append(ends, i)
+			}
+		}
+	}
+	return ends
+}

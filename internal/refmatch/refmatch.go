@@ -1,0 +1,280 @@
+// Package refmatch is a from-scratch software multi-pattern regex matcher.
+// It plays two roles in the reproduction:
+//
+//  1. Correctness oracle. The paper validates its cycle-accurate simulator
+//     against Hyperscan (§5.2); our integration tests validate the RAP,
+//     CAMA, CA and BVAP simulators against this package.
+//  2. CPU baseline. Fig 13 compares RAP with Hyperscan on an i9-12900K;
+//     we measure this matcher's real throughput on the host instead
+//     (documented substitution #3 in DESIGN.md).
+//
+// Like Hyperscan, it is built around bit-parallel Shift-And for the linear
+// patterns (the majority in several benchmarks) and falls back to NBVA /
+// NFA bitset simulation for the rest.
+package refmatch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/nbva"
+	"repro/internal/regexast"
+	"repro/internal/shiftand"
+)
+
+// Engine identifies which execution engine a pattern was compiled to.
+type Engine int
+
+const (
+	// EngineShiftAnd executes linear patterns bit-parallel.
+	EngineShiftAnd Engine = iota
+	// EngineNBVA executes patterns with large bounded repetitions.
+	EngineNBVA
+	// EngineNFA executes general patterns by bitset NFA simulation.
+	EngineNFA
+	// EngineDFA executes small general patterns with a materialized DFA
+	// (one table lookup per byte), the Hyperscan-style fast path.
+	EngineDFA
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineShiftAnd:
+		return "shift-and"
+	case EngineNBVA:
+		return "nbva"
+	case EngineDFA:
+		return "dfa"
+	default:
+		return "nfa"
+	}
+}
+
+// Options tunes compilation.
+type Options struct {
+	// LinearBudgetFactor bounds LNFA rewriting blowup; patterns whose
+	// linearized form exceeds factor×states fall back to NFA/NBVA.
+	// Default 2 (Fig 9).
+	LinearBudgetFactor int
+	// UnfoldThreshold is the bound below which repetitions are unfolded
+	// instead of using bit vectors. Default 16.
+	UnfoldThreshold int
+	// MaxNFAStates caps NFA unfolding. Default automata.DefaultMaxStates.
+	MaxNFAStates int
+	// DFAStateCap bounds the materialized-DFA fast path for general
+	// patterns; patterns whose subset construction exceeds it run as
+	// NFAs. 0 means 2048; negative disables the DFA path.
+	DFAStateCap int
+}
+
+func (o *Options) setDefaults() {
+	if o.LinearBudgetFactor == 0 {
+		o.LinearBudgetFactor = 2
+	}
+	if o.UnfoldThreshold == 0 {
+		o.UnfoldThreshold = 16
+	}
+	if o.MaxNFAStates == 0 {
+		o.MaxNFAStates = automata.DefaultMaxStates
+	}
+	if o.DFAStateCap == 0 {
+		o.DFAStateCap = 2048
+	}
+}
+
+// Match reports a pattern match ending at byte offset End of the scanned
+// input (0-based, inclusive).
+type Match struct {
+	Pattern int // index into the compiled pattern list
+	End     int
+}
+
+// Matcher scans inputs against a compiled set of patterns.
+type Matcher struct {
+	patterns []string
+	engines  []Engine
+
+	sa        *shiftand.Machine // packed linear patterns, nil if none
+	saPattern []int             // shift-and pattern index -> global index
+
+	nbvas   []*nbva.Machine
+	nbvaIdx []int
+
+	nfas   []*automata.NFA
+	nfaIdx []int
+
+	dfas   []*automata.DFA
+	dfaIdx []int
+}
+
+// Compile builds a matcher for the given patterns with default options.
+func Compile(patterns []string) (*Matcher, error) {
+	return CompileWithOptions(patterns, Options{})
+}
+
+// CompileWithOptions builds a matcher with explicit options.
+func CompileWithOptions(patterns []string, opts Options) (*Matcher, error) {
+	opts.setDefaults()
+	m := &Matcher{patterns: patterns, engines: make([]Engine, len(patterns))}
+	var saPats []shiftand.Pattern
+	for i, p := range patterns {
+		re, err := regexast.Parse(p)
+		if err != nil {
+			return nil, fmt.Errorf("refmatch: pattern %d: %w", i, err)
+		}
+		engine := choose(re, opts)
+		m.engines[i] = engine
+		switch engine {
+		case EngineShiftAnd:
+			seqs, err := regexast.Linearize(re.Root, opts.LinearBudgetFactor*re.Root.States())
+			if err != nil {
+				return nil, fmt.Errorf("refmatch: pattern %d linearize: %w", i, err)
+			}
+			for _, s := range seqs {
+				saPats = append(saPats, shiftand.Pattern(s))
+				m.saPattern = append(m.saPattern, i)
+			}
+		case EngineNBVA:
+			root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
+			mach, err := nbva.ConstructFromNode(root)
+			if err != nil {
+				return nil, fmt.Errorf("refmatch: pattern %d nbva: %w", i, err)
+			}
+			mach.StartAnchored = re.StartAnchored
+			mach.EndAnchored = re.EndAnchored
+			m.nbvas = append(m.nbvas, mach)
+			m.nbvaIdx = append(m.nbvaIdx, i)
+		case EngineNFA, EngineDFA:
+			nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
+			if err != nil {
+				return nil, fmt.Errorf("refmatch: pattern %d nfa: %w", i, err)
+			}
+			// Fast path: a small streaming DFA, when constructible and the
+			// pattern has no anchoring or empty-match subtleties.
+			if opts.DFAStateCap > 0 && !re.StartAnchored && !re.EndAnchored && !nfa.MatchesEmpty {
+				if dfa, err := automata.BuildDFA(nfa, opts.DFAStateCap); err == nil {
+					m.engines[i] = EngineDFA
+					m.dfas = append(m.dfas, dfa)
+					m.dfaIdx = append(m.dfaIdx, i)
+					continue
+				}
+			}
+			m.engines[i] = EngineNFA
+			m.nfas = append(m.nfas, nfa)
+			m.nfaIdx = append(m.nfaIdx, i)
+		}
+	}
+	if len(saPats) > 0 {
+		sa, err := shiftand.New(saPats)
+		if err != nil {
+			return nil, err
+		}
+		m.sa = sa
+	}
+	return m, nil
+}
+
+// choose mirrors the Fig 9 decision graph at the software level: linear
+// patterns (within budget, not anchored — anchoring is cheap in NFA form
+// but Shift-And here is unanchored) go to Shift-And; bounded repetitions
+// above the threshold go to NBVA; the rest to NFA.
+func choose(re *regexast.Regex, opts Options) Engine {
+	if !re.StartAnchored && !re.EndAnchored && !regexast.Nullable(re.Root) {
+		if _, err := regexast.Linearize(re.Root, opts.LinearBudgetFactor*re.Root.States()); err == nil {
+			return EngineShiftAnd
+		}
+	}
+	if regexast.MaxRepeatBound(re.Root) > opts.UnfoldThreshold {
+		// Only class-level repetitions compile to BVs; composite ones
+		// would fail construction, so verify cheaply.
+		root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
+		if _, err := nbva.ConstructFromNode(root); err == nil {
+			return EngineNBVA
+		}
+	}
+	return EngineNFA
+}
+
+// Engines returns the engine chosen for each pattern.
+func (m *Matcher) Engines() []Engine { return m.engines }
+
+// NumPatterns returns the number of compiled patterns.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// Scan runs every pattern over input and returns all matches in stream
+// order (by end offset, then pattern index order within an offset is not
+// guaranteed). Nullable patterns report only at offsets where their
+// automaton fires, matching the AP streaming semantics.
+func (m *Matcher) Scan(input []byte) []Match {
+	var out []Match
+	m.scan(input, func(pattern, end int) {
+		out = append(out, Match{Pattern: pattern, End: end})
+	})
+	return out
+}
+
+// Count returns the total number of matches without materializing them,
+// used for throughput measurement.
+func (m *Matcher) Count(input []byte) int {
+	n := 0
+	m.scan(input, func(int, int) { n++ })
+	return n
+}
+
+func (m *Matcher) scan(input []byte, emit func(pattern, end int)) {
+	if m.sa != nil {
+		m.sa.Reset()
+	}
+	nbvaRunners := make([]*nbva.Runner, len(m.nbvas))
+	for i, mach := range m.nbvas {
+		nbvaRunners[i] = nbva.NewRunner(mach)
+	}
+	nfaRunners := make([]*automata.Runner, len(m.nfas))
+	for i, nfa := range m.nfas {
+		nfaRunners[i] = automata.NewRunner(nfa)
+	}
+	dfaRunners := make([]*automata.DFARunner, len(m.dfas))
+	for i, dfa := range m.dfas {
+		dfaRunners[i] = automata.NewDFARunner(dfa)
+	}
+	last := len(input) - 1
+	for i, b := range input {
+		if m.sa != nil {
+			for _, p := range m.sa.Step(b) {
+				emit(m.saPattern[p], i)
+			}
+		}
+		for j, r := range nbvaRunners {
+			if r.Step(b) {
+				mach := m.nbvas[j]
+				if !mach.EndAnchored || i == last {
+					// One report per reporting state, matching the
+					// hardware's per-STE report semantics.
+					for k := 0; k < r.FinalsFired(); k++ {
+						emit(m.nbvaIdx[j], i)
+					}
+				}
+			}
+		}
+		for j, r := range nfaRunners {
+			if r.Step(b) {
+				nfa := m.nfas[j]
+				if !nfa.EndAnchored || i == last {
+					for k := 0; k < r.FinalsActive(); k++ {
+						emit(m.nfaIdx[j], i)
+					}
+				}
+			}
+		}
+		for j, r := range dfaRunners {
+			for k := r.Step(b); k > 0; k-- {
+				emit(m.dfaIdx[j], i)
+			}
+		}
+	}
+}
+
+// ErrNoPatterns is returned by MatchersFromMixed helpers when the pattern
+// list is empty.
+var ErrNoPatterns = errors.New("refmatch: no patterns")

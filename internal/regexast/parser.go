@@ -1,0 +1,425 @@
+package regexast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/charclass"
+)
+
+// ParseError describes a syntax error with its byte offset in the pattern.
+type ParseError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("regexast: parse %q at %d: %s", e.Pattern, e.Pos, e.Msg)
+}
+
+// Parse parses a pattern in the PCRE-style subset of §2.1 and returns the
+// simplified AST together with anchoring flags.
+//
+// Supported syntax: byte literals, escapes (\n \t \r \v \f \xHH, \d \D \w
+// \W \s \S, and escaped metacharacters), '.', bracket classes with ranges
+// and negation, alternation '|', grouping '(...)' and '(?:...)',
+// quantifiers '*' '+' '?' '{m}' '{m,}' '{m,n}', '^' / '$' anchors at the
+// pattern boundaries, and a leading '(?i)' case-insensitivity flag
+// (applied by folding every character class over ASCII case).
+func Parse(pattern string) (*Regex, error) {
+	p := &parser{src: pattern}
+	re := &Regex{Source: pattern}
+	if strings.HasPrefix(p.src, "(?i)") {
+		p.foldCase = true
+		p.pos += 4
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^") {
+		re.StartAnchored = true
+		p.pos++
+	}
+	node, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected %q", p.src[p.pos])
+	}
+	// Trailing '$' anchor: parsed as a literal by the grammar would be
+	// wrong, so the atom parser rejects bare '$' and we strip it here.
+	if p.endAnchor {
+		re.EndAnchored = true
+	}
+	re.Root = Simplify(node)
+	return re, nil
+}
+
+// MustParse is Parse that panics on error, for tests and tables of
+// known-good patterns.
+func MustParse(pattern string) *Regex {
+	re, err := Parse(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return re
+}
+
+type parser struct {
+	src       string
+	pos       int
+	depth     int
+	endAnchor bool
+	foldCase  bool
+}
+
+// lit builds a literal node, case-folding the class when (?i) is active.
+func (p *parser) lit(c charclass.Class) *Lit {
+	if p.foldCase {
+		c = foldASCII(c)
+	}
+	return &Lit{Class: c}
+}
+
+// foldASCII closes a class over ASCII upper/lower case.
+func foldASCII(c charclass.Class) charclass.Class {
+	out := c
+	for b := byte('a'); b <= 'z'; b++ {
+		if c.Contains(b) {
+			out.Add(b - 'a' + 'A')
+		}
+	}
+	for b := byte('A'); b <= 'Z'; b++ {
+		if c.Contains(b) {
+			out.Add(b - 'A' + 'a')
+		}
+	}
+	return out
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Pattern: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+// parseAlt = parseConcat ('|' parseConcat)*
+func (p *parser) parseAlt() (Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() || p.peek() != '|' {
+		return first, nil
+	}
+	alt := &Alt{Subs: []Node{first}}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		sub, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alt.Subs = append(alt.Subs, sub)
+	}
+	return alt, nil
+}
+
+// parseConcat = parseRepeat*
+func (p *parser) parseConcat() (Node, error) {
+	var subs []Node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		if p.peek() == '$' && p.pos == len(p.src)-1 && p.depth == 0 {
+			p.endAnchor = true
+			p.pos++
+			break
+		}
+		sub, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+	}
+	switch len(subs) {
+	case 0:
+		return Empty{}, nil
+	case 1:
+		return subs[0], nil
+	}
+	return &Concat{Subs: subs}, nil
+}
+
+// parseRepeat = atom quantifier*
+func (p *parser) parseRepeat() (Node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		var min, max int
+		switch p.peek() {
+		case '*':
+			min, max = 0, Unbounded
+			p.pos++
+		case '+':
+			min, max = 1, Unbounded
+			p.pos++
+		case '?':
+			min, max = 0, 1
+			p.pos++
+		case '{':
+			var ok bool
+			min, max, ok, err = p.parseBound()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return atom, nil // '{' treated as literal handled in atom
+			}
+		default:
+			return atom, nil
+		}
+		if _, isRep := atom.(*Repeat); isRep {
+			// Nested quantifiers like a*+ are rare and ambiguous in our
+			// subset (no possessive matching); wrap explicitly.
+			atom = &Repeat{Sub: atom, Min: min, Max: max}
+		} else {
+			atom = &Repeat{Sub: atom, Min: min, Max: max}
+		}
+	}
+	return atom, nil
+}
+
+// parseBound parses {m}, {m,}, {m,n}. Returns ok=false (without consuming)
+// when the brace does not start a well-formed bound, in which case the
+// caller treats '{' as a literal atom — PCRE behaviour.
+func (p *parser) parseBound() (min, max int, ok bool, err error) {
+	start := p.pos
+	p.pos++ // consume '{'
+	i := p.pos
+	for i < len(p.src) && p.src[i] != '}' {
+		i++
+	}
+	if i == len(p.src) {
+		p.pos = start
+		return 0, 0, false, nil
+	}
+	body := p.src[p.pos:i]
+	comma := strings.IndexByte(body, ',')
+	parseInt := func(s string) (int, bool) {
+		if s == "" {
+			return 0, false
+		}
+		v, e := strconv.Atoi(s)
+		return v, e == nil && v >= 0
+	}
+	switch {
+	case comma < 0:
+		v, okv := parseInt(body)
+		if !okv {
+			p.pos = start
+			return 0, 0, false, nil
+		}
+		min, max = v, v
+	case comma == len(body)-1:
+		v, okv := parseInt(body[:comma])
+		if !okv {
+			p.pos = start
+			return 0, 0, false, nil
+		}
+		min, max = v, Unbounded
+	default:
+		lo, ok1 := parseInt(body[:comma])
+		hi, ok2 := parseInt(body[comma+1:])
+		if !ok1 || !ok2 {
+			p.pos = start
+			return 0, 0, false, nil
+		}
+		if hi < lo {
+			p.pos = start
+			return 0, 0, false, &ParseError{Pattern: p.src, Pos: start, Msg: fmt.Sprintf("reversed bound {%d,%d}", lo, hi)}
+		}
+		min, max = lo, hi
+	}
+	p.pos = i + 1
+	return min, max, true, nil
+}
+
+// parseAtom = literal | '.' | class | group
+func (p *parser) parseAtom() (Node, error) {
+	if p.eof() {
+		return nil, p.errf("unexpected end of pattern")
+	}
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		p.depth++
+		// Non-capturing group markers are accepted and ignored; the RAP
+		// compiler has no capture semantics.
+		if strings.HasPrefix(p.src[p.pos:], "?:") {
+			p.pos += 2
+		} else if strings.HasPrefix(p.src[p.pos:], "?") {
+			return nil, p.errf("unsupported group modifier")
+		}
+		sub, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		p.depth--
+		return sub, nil
+	case ')':
+		return nil, p.errf("unmatched ')'")
+	case '.':
+		p.pos++
+		return p.lit(charclass.Any()), nil
+	case '[':
+		p.pos++
+		cls, n, err := charclass.ParseClassBody(p.src[p.pos:])
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		p.pos += n + 1 // body + ']'
+		if cls.IsEmpty() {
+			return nil, p.errf("empty character class")
+		}
+		return p.lit(cls), nil
+	case '\\':
+		return p.parseEscape()
+	case '*', '+', '?':
+		return nil, p.errf("quantifier %q with nothing to repeat", c)
+	case '^':
+		return nil, p.errf("'^' only supported at pattern start")
+	case '$':
+		return nil, p.errf("'$' only supported at pattern end")
+	default:
+		p.pos++
+		return p.lit(charclass.Single(c)), nil
+	}
+}
+
+func (p *parser) parseEscape() (Node, error) {
+	if p.pos+1 >= len(p.src) {
+		return nil, p.errf("dangling backslash")
+	}
+	c := p.src[p.pos+1]
+	switch c {
+	case 'd':
+		p.pos += 2
+		return p.lit(charclass.Digit()), nil
+	case 'D':
+		p.pos += 2
+		return p.lit(charclass.Digit().Negate()), nil
+	case 'w':
+		p.pos += 2
+		return p.lit(charclass.Word()), nil
+	case 'W':
+		p.pos += 2
+		return p.lit(charclass.Word().Negate()), nil
+	case 's':
+		p.pos += 2
+		return p.lit(charclass.Space()), nil
+	case 'S':
+		p.pos += 2
+		return p.lit(charclass.Space().Negate()), nil
+	case 'n':
+		p.pos += 2
+		return p.lit(charclass.Single('\n')), nil
+	case 't':
+		p.pos += 2
+		return p.lit(charclass.Single('\t')), nil
+	case 'r':
+		p.pos += 2
+		return p.lit(charclass.Single('\r')), nil
+	case 'v':
+		p.pos += 2
+		return p.lit(charclass.Single('\v')), nil
+	case 'f':
+		p.pos += 2
+		return p.lit(charclass.Single('\f')), nil
+	case '0':
+		p.pos += 2
+		return p.lit(charclass.Single(0)), nil
+	case 'x':
+		if p.pos+3 >= len(p.src) {
+			return nil, p.errf("truncated \\x escape")
+		}
+		v, err := strconv.ParseUint(p.src[p.pos+2:p.pos+4], 16, 8)
+		if err != nil {
+			return nil, p.errf("invalid \\x escape")
+		}
+		p.pos += 4
+		return p.lit(charclass.Single(byte(v))), nil
+	default:
+		p.pos += 2
+		return p.lit(charclass.Single(c)), nil
+	}
+}
+
+// String renders the AST back to pattern syntax. The output re-parses to
+// an equivalent tree (modulo simplification).
+func String(n Node) string {
+	var b strings.Builder
+	writeNode(&b, n, 0)
+	return b.String()
+}
+
+// precedence levels: 0 alt, 1 concat, 2 repeat/atom
+func nodePrec(n Node) int {
+	switch n.(type) {
+	case *Alt:
+		return 0
+	case *Concat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func writeNode(b *strings.Builder, n Node, prec int) {
+	if nodePrec(n) < prec {
+		b.WriteString("(?:")
+		writeNode(b, n, 0)
+		b.WriteByte(')')
+		return
+	}
+	switch t := n.(type) {
+	case Empty:
+		// renders as nothing
+	case *Lit:
+		b.WriteString(t.Class.String())
+	case *Concat:
+		for _, s := range t.Subs {
+			writeNode(b, s, 1)
+		}
+	case *Alt:
+		for i, s := range t.Subs {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			writeNode(b, s, 1)
+		}
+	case *Repeat:
+		writeNode(b, t.Sub, 2)
+		switch {
+		case t.Min == 0 && t.Max == Unbounded:
+			b.WriteByte('*')
+		case t.Min == 1 && t.Max == Unbounded:
+			b.WriteByte('+')
+		case t.Min == 0 && t.Max == 1:
+			b.WriteByte('?')
+		case t.Max == Unbounded:
+			fmt.Fprintf(b, "{%d,}", t.Min)
+		case t.Min == t.Max:
+			fmt.Fprintf(b, "{%d}", t.Min)
+		default:
+			fmt.Fprintf(b, "{%d,%d}", t.Min, t.Max)
+		}
+	default:
+		panic(fmt.Sprintf("regexast: unknown node %T", n))
+	}
+}

@@ -1,0 +1,164 @@
+// Package shiftand implements the Shift-And bit-parallel algorithm
+// (Baeza-Yates & Gonnet) for executing Linear NFAs (§2.1, Fig 2), including
+// the multi-pattern packing that RAP's LNFA binning relies on (§3.2).
+//
+// Conventions follow the paper: state q_i is bit i, maskInitial has bit 0
+// of every packed pattern set, and one execution step is
+//
+//	next   = (states << 1) OR maskInitial
+//	states = next AND labels[c]
+//	match  = (states AND maskFinal) != 0
+//
+// Packing several patterns back to back needs no guard bits: a bit that
+// shifts across a pattern boundary lands on the next pattern's initial
+// state, which maskInitial re-activates every step anyway, so the leak
+// never changes the computation.
+package shiftand
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/charclass"
+)
+
+// Pattern is one linear pattern: a sequence of character classes,
+// q_0 ... q_{n-1}, with q_0 initial and q_{n-1} final (the strict LNFA
+// form executed by RAP hardware).
+type Pattern []charclass.Class
+
+// Machine executes one or more packed linear patterns simultaneously.
+type Machine struct {
+	classes     []charclass.Class
+	patternOf   []int // state index -> pattern index
+	starts      []int // pattern index -> first state index
+	labels      [256]bitvec.Vector
+	maskInitial bitvec.Vector
+	maskFinal   bitvec.Vector
+	states      bitvec.Vector
+	scratch     bitvec.Vector
+}
+
+// New builds a machine for the given patterns packed in order. Patterns
+// must be non-empty.
+func New(patterns []Pattern) (*Machine, error) {
+	total := 0
+	for i, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("shiftand: pattern %d is empty", i)
+		}
+		total += len(p)
+	}
+	m := &Machine{
+		classes:     make([]charclass.Class, 0, total),
+		patternOf:   make([]int, 0, total),
+		starts:      make([]int, len(patterns)),
+		maskInitial: bitvec.New(total),
+		maskFinal:   bitvec.New(total),
+		states:      bitvec.New(total),
+		scratch:     bitvec.New(total),
+	}
+	for pi, p := range patterns {
+		m.starts[pi] = len(m.classes)
+		m.maskInitial.Set(len(m.classes))
+		for _, c := range p {
+			m.classes = append(m.classes, c)
+			m.patternOf = append(m.patternOf, pi)
+		}
+		m.maskFinal.Set(len(m.classes) - 1)
+	}
+	// Preprocessing step (1) of §2.1: character masks labels[c].
+	for c := 0; c < 256; c++ {
+		v := bitvec.New(total)
+		for i, cls := range m.classes {
+			if cls.Contains(byte(c)) {
+				v.Set(i)
+			}
+		}
+		m.labels[c] = v
+	}
+	return m, nil
+}
+
+// NumStates returns the total number of packed states.
+func (m *Machine) NumStates() int { return len(m.classes) }
+
+// NumPatterns returns the number of packed patterns.
+func (m *Machine) NumPatterns() int { return len(m.starts) }
+
+// Reset clears all active states.
+func (m *Machine) Reset() { m.states.Reset() }
+
+// Step consumes one input byte and returns the indices of the patterns
+// whose final state is active afterwards (matches ending at this symbol).
+// The returned slice is valid until the next call.
+func (m *Machine) Step(b byte) []int {
+	m.states.ShiftLeft()
+	m.states.Or(m.maskInitial)
+	m.states.And(m.labels[b])
+	m.scratch.CopyFrom(m.states)
+	m.scratch.And(m.maskFinal)
+	if m.scratch.None() {
+		return nil
+	}
+	var out []int
+	for i := m.scratch.NextSet(0); i >= 0; i = m.scratch.NextSet(i + 1) {
+		out = append(out, m.patternOf[i])
+	}
+	return out
+}
+
+// StepBool is Step for single-pattern machines: it reports only whether a
+// match ends at this symbol, without allocating.
+func (m *Machine) StepBool(b byte) bool {
+	m.states.ShiftLeft()
+	m.states.Or(m.maskInitial)
+	m.states.And(m.labels[b])
+	m.scratch.CopyFrom(m.states)
+	m.scratch.And(m.maskFinal)
+	return m.scratch.Any()
+}
+
+// ActiveCount returns the number of active states, used for
+// activity-dependent energy accounting.
+func (m *Machine) ActiveCount() int { return m.states.Count() }
+
+// States returns a copy of the current state vector.
+func (m *Machine) States() bitvec.Vector { return m.states.Clone() }
+
+// StatesRef returns the live state vector without copying. The caller
+// must not modify it; it is overwritten by the next Step.
+func (m *Machine) StatesRef() bitvec.Vector { return m.states }
+
+// PatternStart returns the packed state index of pattern p's first state.
+func (m *Machine) PatternStart(p int) int { return m.starts[p] }
+
+// MatchEnd pairs a pattern index with the input offset its match ended at.
+type MatchEnd struct {
+	Pattern int
+	End     int
+}
+
+// MatchEnds runs the machine over the whole input from the reset state and
+// returns every (pattern, end offset) match pair in stream order.
+func (m *Machine) MatchEnds(input []byte) []MatchEnd {
+	m.Reset()
+	var out []MatchEnd
+	for i, b := range input {
+		for _, p := range m.Step(b) {
+			out = append(out, MatchEnd{Pattern: p, End: i})
+		}
+	}
+	return out
+}
+
+// Matches reports whether any packed pattern matches anywhere in input.
+func (m *Machine) Matches(input []byte) bool {
+	m.Reset()
+	for _, b := range input {
+		if m.StepBool(b) {
+			return true
+		}
+	}
+	return false
+}

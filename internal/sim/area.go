@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"repro/internal/arch"
+	"repro/internal/hwmodel"
+)
+
+// Area and leakage accounting. Only placed (used) hardware is charged,
+// matching the paper's per-benchmark area numbers, which scale with the
+// dataset.
+
+// RAPArea computes the area breakdown of a RAP placement without running
+// a simulation (used by the DSE and by Program stats).
+func RAPArea(p *arch.Placement) AreaBreakdown { return rapArea(p) }
+
+// rapArea computes the area breakdown of a RAP placement.
+func rapArea(p *arch.Placement) AreaBreakdown {
+	var a AreaBreakdown
+	tiles := float64(p.TilesUsed())
+	arrays := float64(len(p.Arrays))
+	banks := float64(p.Banks())
+	a.Tiles = tiles * rapTileAreaUM2 * hwmodel.UM2ToMM2
+	a.GlobalSwitch = arrays * hwmodel.SRAM256.AreaUM2 * hwmodel.UM2ToMM2
+	a.Controller = arrays * hwmodel.GlobalController.AreaUM2 * hwmodel.UM2ToMM2
+	a.IO = banks * ioAreaPerBankUM2 * hwmodel.UM2ToMM2
+	return a
+}
+
+// nfaStyleArea computes area for CAMA / CA style placements (everything in
+// NFA mode on 128-STE tiles).
+func nfaStyleArea(archName string, p *arch.Placement) AreaBreakdown {
+	var a AreaBreakdown
+	tiles := float64(p.TilesUsed())
+	arrays := float64(len(p.Arrays))
+	banks := float64(p.Banks())
+	perTile := float64(camaTileAreaUM2)
+	if archName == "CA" {
+		perTile = caTileAreaUM2
+	}
+	a.Tiles = tiles * perTile * hwmodel.UM2ToMM2
+	a.GlobalSwitch = arrays * hwmodel.SRAM256.AreaUM2 * hwmodel.UM2ToMM2
+	a.Controller = arrays * hwmodel.GlobalController.AreaUM2 * hwmodel.UM2ToMM2
+	a.IO = banks * ioAreaPerBankUM2 * hwmodel.UM2ToMM2
+	return a
+}
+
+// bvapArea: CAMA tiles plus a fixed BVM on every tile (the rigid
+// provisioning RAP's dynamic allocation removes).
+func bvapArea(p *arch.Placement) AreaBreakdown {
+	a := nfaStyleArea("CAMA", p)
+	a.BVM = float64(p.TilesUsed()) * bvapBVMAreaUM2 * hwmodel.UM2ToMM2
+	return a
+}
+
+// leakagePowerW returns the static power of the placed hardware.
+func leakagePowerW(archName string, p *arch.Placement) float64 {
+	tiles := float64(p.TilesUsed())
+	arrays := float64(len(p.Arrays))
+	v := hwmodel.SupplyVoltage
+	var perTile float64
+	switch archName {
+	case "CA":
+		perTile = float64(caMatchMacros)*hwmodel.SRAM128.LeakagePowerW(v) + hwmodel.SRAM128.LeakagePowerW(v)
+	case "CAMA":
+		perTile = hwmodel.CAM.LeakagePowerW(v) + hwmodel.SRAM128.LeakagePowerW(v)
+	case "BVAP":
+		perTile = hwmodel.CAM.LeakagePowerW(v) + hwmodel.SRAM128.LeakagePowerW(v) +
+			0.6*hwmodel.SRAM128.LeakagePowerW(v) // BVM storage + MFCB
+	default: // RAP (controller shared per tile pair, see constants.go)
+		perTile = hwmodel.CAM.LeakagePowerW(v) + hwmodel.SRAM128.LeakagePowerW(v) +
+			hwmodel.LocalController.LeakagePowerW(v)/2
+	}
+	perArray := hwmodel.SRAM256.LeakagePowerW(v) + hwmodel.GlobalController.LeakagePowerW(v)
+	return tiles*perTile + arrays*perArray
+}

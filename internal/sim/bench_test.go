@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// Microbenchmarks for the cycle-level engines: cost per simulated input
+// character for each tile mode and each baseline.
+
+func benchSetup(b *testing.B, name string, scale float64) (*compile.Result, []byte) {
+	b.Helper()
+	d := workload.MustGenerate(name, scale, 1)
+	res := compile.Compile(d.Patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		b.Fatal(res.Errors[0])
+	}
+	return res, d.Input(16384, 2)
+}
+
+func BenchmarkSimulateRAPSnort(b *testing.B) {
+	res, input := benchSetup(b, "Snort", 0.3)
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateRAP(res, p, input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateRAPLNFAOnly(b *testing.B) {
+	res, input := benchSetup(b, "Prosite", 0.3)
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateRAP(res, p, input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateCAMA(b *testing.B) {
+	d := workload.MustGenerate("Snort", 0.3, 1)
+	res := compile.CompileAllNFA(d.Patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		b.Fatal(res.Errors[0])
+	}
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := d.Input(16384, 2)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateBaseline("CAMA", res, p, input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapSnort(b *testing.B) {
+	d := workload.MustGenerate("Snort", 0.5, 1)
+	res := compile.Compile(d.Patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		b.Fatal(res.Errors[0])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.Map(res, mapper.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileSnort(b *testing.B) {
+	d := workload.MustGenerate("Snort", 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := compile.Compile(d.Patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			b.Fatal(res.Errors[0])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/mapper"
+)
+
+// Golden tests lock the derived hardware-model quantities against
+// accidental drift: these values are calibrated against the paper's
+// tables (see constants.go comments), so a change that moves them should
+// be deliberate.
+
+func TestGoldenTileAreas(t *testing.T) {
+	if camaTileAreaUM2 != 8281 {
+		t.Errorf("CAMA tile = %v µm², calibration expects 8281", camaTileAreaUM2)
+	}
+	if rapTileAreaUM2 != 9731 {
+		t.Errorf("RAP tile = %v µm², calibration expects 9731 (shared controller)", rapTileAreaUM2)
+	}
+	if caTileAreaUM2 != 16965 {
+		t.Errorf("CA tile = %v µm²", caTileAreaUM2)
+	}
+	// Table 2 RegexLib NFA/CAMA area ratio ≈ 1.19.
+	ratio := float64(rapTileAreaUM2) / float64(camaTileAreaUM2)
+	if math.Abs(ratio-1.175) > 0.01 {
+		t.Errorf("RAP:CAMA tile ratio = %.3f, want ≈1.175", ratio)
+	}
+}
+
+func TestGoldenBVAPProvisioning(t *testing.T) {
+	if bvapBVsPerTile*bvapBVBits != 2048 {
+		t.Errorf("BVM capacity = %d bits", bvapBVsPerTile*bvapBVBits)
+	}
+	if bvapStallCycles != 4 {
+		t.Errorf("BVAP stall = %d", bvapStallCycles)
+	}
+}
+
+func TestGoldenSingleTileAreaBreakdown(t *testing.T) {
+	// One linear pattern -> 1 LNFA tile + 1 array overhead + 1 bank IO.
+	res := compile.Compile([]string{"abcdef"}, compile.Options{})
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RAPArea(p)
+	wantTiles := 9731e-6
+	if math.Abs(a.Tiles-wantTiles) > 1e-9 {
+		t.Errorf("tile area = %v, want %v", a.Tiles, wantTiles)
+	}
+	wantGS := 18153e-6
+	if math.Abs(a.GlobalSwitch-wantGS) > 1e-9 {
+		t.Errorf("global switch = %v", a.GlobalSwitch)
+	}
+	if a.Controller != 1400e-6 || a.IO != 2000e-6 {
+		t.Errorf("controller %v, IO %v", a.Controller, a.IO)
+	}
+}
+
+func TestGoldenClockAndThroughput(t *testing.T) {
+	res := compile.Compile([]string{"abcdef"}, compile.Options{})
+	p, _ := mapper.Map(res, mapper.Options{})
+	rep, err := SimulateRAP(res, p, make([]byte, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThroughputGchS() != 2.08 {
+		t.Errorf("stall-free throughput = %v, want 2.08", rep.ThroughputGchS())
+	}
+	if clockFor("CAMA") != 2.14 || clockFor("CA") != 1.82 || clockFor("BVAP") != 2.0 {
+		t.Error("baseline clocks drifted")
+	}
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compile"
+	"repro/internal/hwmodel"
+	"repro/internal/stream"
+)
+
+// ringHopMM is the wire length of one LNFA ring hop between adjacent
+// tiles (§3.2: "the ring connects adjacent tiles with global wires over a
+// short distance").
+const ringHopMM = 0.1
+
+// SimulateRAP executes a RAP placement over the input stream and returns
+// the full report: energy from per-cycle activity, area from the
+// placement, throughput from stall-aware cycle counts.
+func SimulateRAP(res *compile.Result, p *arch.Placement, input []byte) (*Report, error) {
+	rep := &Report{
+		Arch: "RAP", Chars: int64(len(input)), ClockGHz: hwmodel.ClockRAPGHz,
+		PerRegex: map[int]int64{},
+	}
+	var maxCycles int64
+	// NBVA arrays within one bank share the input stream through the
+	// two-level buffering of §3.3; their joint cycle count comes from the
+	// windowed model rather than each array alone.
+	var bankTraces []stream.StallTrace
+	flushBank := func() {
+		if len(bankTraces) == 0 {
+			return
+		}
+		cycles := stream.WindowedCycles(bankTraces, len(input), stream.DefaultWindow)
+		if cycles > maxCycles {
+			maxCycles = cycles
+		}
+		bankTraces = bankTraces[:0]
+	}
+	for ai := range p.Arrays {
+		plan := &p.Arrays[ai]
+		var cycles int64
+		var err error
+		switch plan.Mode {
+		case arch.ModeNFA:
+			cycles, err = runRAPNFAArray(rep, res, plan, input)
+		case arch.ModeNBVA:
+			var tr stream.StallTrace
+			cycles, tr, err = runRAPNBVAArray(rep, res, plan, input)
+			if err == nil {
+				bankTraces = append(bankTraces, tr)
+				if len(bankTraces) == arch.ArraysPerBank {
+					flushBank()
+				}
+				cycles = 0 // throughput handled by the bank model
+			}
+		case arch.ModeLNFA:
+			cycles, err = runRAPLNFAArray(rep, res, plan, input)
+		default:
+			err = fmt.Errorf("sim: unknown mode %v", plan.Mode)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cycles > maxCycles {
+			maxCycles = cycles
+		}
+	}
+	flushBank()
+	if maxCycles == 0 {
+		maxCycles = int64(len(input))
+	}
+	rep.Cycles = maxCycles
+	rep.Area = rapArea(p)
+	// Output path (§3.3): match reports drain through the 64-entry Bank
+	// Output Buffer; each fill raises a host interrupt. With the match
+	// counts known, the interrupt count is the report total over the
+	// buffer capacity per bank (the arbiter serializes arrays onto one
+	// buffer per bank).
+	banks := int64(p.Banks())
+	if banks > 0 && rep.Matches > 0 {
+		perBank := (rep.Matches + banks - 1) / banks
+		rep.IOInterrupts = banks * ((perBank + arch.BankOutputBufferEntries - 1) / arch.BankOutputBufferEntries)
+	}
+	finishReport(rep, "RAP", p)
+	return rep, nil
+}
+
+// finishReport adds leakage and I/O energy, which depend on total time.
+func finishReport(rep *Report, archName string, p *arch.Placement) {
+	rep.Energy.Leakage = leakagePowerW(archName, p) * rep.TimeSeconds() * 1e12
+	rep.Energy.Wire += float64(rep.Chars) * float64(p.Banks()) * ioEnergyPerCharPJ
+}
+
+// runRAPNFAArray simulates one NFA-mode array: CAM search + crossbar
+// transition every cycle on every used tile, plus the local controller
+// that is RAP's reconfigurability overhead over CAMA (§5.4).
+func runRAPNFAArray(rep *Report, res *compile.Result, plan *arch.ArrayPlan, input []byte) (int64, error) {
+	e, err := newNFAArrayEngine(res, plan)
+	if err != nil {
+		return 0, err
+	}
+	e.onReport = func(ri int) { rep.PerRegex[ri]++ }
+	usedTiles := usedTileIndices(plan)
+	colsFrac := make([]float64, len(plan.Tiles))
+	for _, t := range usedTiles {
+		colsFrac[t] = float64(plan.Tiles[t].Columns()) / float64(arch.TileSTEs)
+	}
+	crossEdges := plan.CrossTileEdges > 0
+	var en EnergyBreakdown
+	for i, b := range input {
+		matches, _, crossActive := e.step(b, i == len(input)-1)
+		rep.Matches += int64(matches)
+		for _, t := range usedTiles {
+			en.CAM += hwmodel.CAM.AccessEnergyPJ(1) * colsFrac[t]
+			en.LocalSwitch += hwmodel.SRAM128.AccessEnergyPJ(float64(e.tileMatched[t]) / float64(arch.TileSTEs))
+			en.Controller += hwmodel.LocalController.AccessEnergyPJ(1)
+		}
+		en.Controller += hwmodel.GlobalController.AccessEnergyPJ(1)
+		if crossEdges {
+			en.GlobalSwitch += hwmodel.SRAM256.AccessEnergyPJ(float64(crossActive) / 256)
+			en.Wire += float64(crossActive) * hwmodel.GlobalWireMMPerHop * hwmodel.GlobalWire.AccessEnergyPJ(1)
+		}
+	}
+	rep.Energy.Add(en)
+	return int64(len(input)), nil
+}
+
+// runRAPNBVAArray simulates one NBVA-mode array: state matching activates
+// only the CC columns; a triggered bit-vector-processing phase stalls the
+// array for depth cycles and charges CAM read/write plus switch routing on
+// the tiles with active BVs (§3.1). It returns the array's own cycle
+// count and its stall trace for the bank-level buffering model.
+func runRAPNBVAArray(rep *Report, res *compile.Result, plan *arch.ArrayPlan, input []byte) (int64, stream.StallTrace, error) {
+	e, err := newNBVAArrayEngine(res, plan)
+	if err != nil {
+		return 0, nil, err
+	}
+	e.onReport = func(ri int) { rep.PerRegex[ri]++ }
+	usedTiles := usedTileIndices(plan)
+	ccFrac := make([]float64, len(plan.Tiles))
+	for _, t := range usedTiles {
+		tp := &plan.Tiles[t]
+		ccFrac[t] = float64(tp.CCColumns+tp.InitColumns) / float64(arch.TileSTEs)
+	}
+	depth := plan.Depth
+	var en EnergyBreakdown
+	var st nbvaStep
+	trace := make(stream.StallTrace, len(input))
+	cycles := int64(0)
+	for k, b := range input {
+		e.step(b, &st)
+		rep.Matches += int64(st.matches)
+		cycles++
+		for _, t := range usedTiles {
+			en.CAM += hwmodel.CAM.AccessEnergyPJ(1) * ccFrac[t]
+			en.LocalSwitch += hwmodel.SRAM128.AccessEnergyPJ(float64(st.tileMatched[t]) / float64(arch.TileSTEs))
+			en.Controller += hwmodel.LocalController.AccessEnergyPJ(1)
+		}
+		en.Controller += hwmodel.GlobalController.AccessEnergyPJ(1)
+		if st.anyBV {
+			// Bit-vector-processing phase: depth cycles, array stalled,
+			// tiles without active BVs disabled (§3.3). Only the columns
+			// of the bit vectors that actually updated are read, routed
+			// and written back.
+			cycles += int64(depth)
+			rep.StallCycles += int64(depth)
+			trace[k] = uint16(depth)
+			for _, t := range usedTiles {
+				if st.bvTileCols[t] == 0 {
+					continue
+				}
+				frac := float64(st.bvTileCols[t]) / float64(arch.TileSTEs)
+				if frac > 1 {
+					frac = 1
+				}
+				for d := 0; d < depth; d++ {
+					// read + write of one BV word across the active BV
+					// columns, routed through the local switch.
+					en.CAM += 2 * hwmodel.CAM.AccessEnergyPJ(1) * frac
+					en.LocalSwitch += hwmodel.SRAM128.AccessEnergyPJ(frac)
+					en.Controller += hwmodel.LocalController.AccessEnergyPJ(1)
+				}
+			}
+		}
+	}
+	rep.Energy.Add(en)
+	return cycles, trace, nil
+}
+
+// runRAPLNFAArray simulates one LNFA-mode array: Shift-And in the active
+// vector, column-gated CAM searches, power-gated tiles without initial or
+// active states (§3.2), and ring routing between adjacent tiles.
+func runRAPLNFAArray(rep *Report, res *compile.Result, plan *arch.ArrayPlan, input []byte) (int64, error) {
+	e, err := newLNFAArrayEngine(res, plan)
+	if err != nil {
+		return 0, err
+	}
+	e.onReport = func(ri int) { rep.PerRegex[ri]++ }
+	usedTiles := usedTileIndices(plan)
+	var en EnergyBreakdown
+	var st lnfaStep
+	for _, b := range input {
+		e.step(b, &st)
+		rep.Matches += int64(st.matches)
+		rep.LNFATileCycles += int64(len(usedTiles))
+		for t := range plan.Tiles {
+			activeStates := st.tileActive[t]
+			initCols := st.initTiles[t]
+			if activeStates == 0 && initCols == 0 {
+				if plan.Tiles[t].LNFAUsed() > 0 {
+					rep.GatedTileCycles++
+				}
+				continue // power-gated
+			}
+			// Every bin-leading initial column is searched every cycle.
+			cols := activeStates + initCols
+			if st.camTiles[t] {
+				en.CAM += hwmodel.CAM.AccessEnergyPJ(1) * float64(cols) / float64(arch.TileSTEs)
+			}
+			if st.switchTiles[t] {
+				// One-hot matching drives a single row of the local switch.
+				en.LocalSwitch += hwmodel.SRAM128.AccessEnergyPJ(1.0 / float64(arch.TileSTEs))
+			}
+			en.Controller += hwmodel.LocalController.AccessEnergyPJ(1)
+		}
+		en.Controller += hwmodel.GlobalController.AccessEnergyPJ(1)
+		en.Wire += float64(st.ringHops) * ringHopMM * hwmodel.GlobalWire.AccessEnergyPJ(1)
+	}
+	rep.Energy.Add(en)
+	return int64(len(input)), nil
+}
+
+func usedTileIndices(plan *arch.ArrayPlan) []int {
+	var out []int
+	for i := range plan.Tiles {
+		t := &plan.Tiles[i]
+		if t.Columns() > 0 || t.LNFAUsed() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/mapper"
+	"repro/internal/refmatch"
+)
+
+// pipeline compiles, maps and simulates a pattern set on RAP.
+func pipeline(t *testing.T, patterns []string, mopts mapper.Options, input []byte) *Report {
+	t.Helper()
+	res := compile.Compile(patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		t.Fatalf("compile: %v", res.Errors)
+	}
+	p, err := mapper.Map(res, mopts)
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	rep, err := SimulateRAP(res, p, input)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return rep
+}
+
+func refCount(t *testing.T, patterns []string, input []byte) int64 {
+	t.Helper()
+	m, err := refmatch.Compile(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(m.Count(input))
+}
+
+func makeInput(seed int64, n int, alphabet string) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return out
+}
+
+func TestRAPMatchesAgreeWithReference(t *testing.T) {
+	// The §5.2 consistency check: cycle simulator vs software matcher.
+	patterns := []string{
+		"cat", "d{3}g", "a(x|y)*b", "ab{5,20}c", "q[rs]t",
+		"hello", "w{30}", "m.n", "[0-9]{4}", "zz*y",
+	}
+	input := append(makeInput(1, 5000, "abcdxyzq rst0123"), []byte(
+		"cat dddg axyxb a"+strings.Repeat("b", 7)+"c qrt hello "+
+			strings.Repeat("w", 30)+" m-n 2024 zzzy")...)
+	rep := pipeline(t, patterns, mapper.Options{}, input)
+	want := refCount(t, patterns, input)
+	if rep.Matches != want {
+		t.Errorf("RAP matches = %d, reference = %d", rep.Matches, want)
+	}
+	if rep.Matches == 0 {
+		t.Error("expected at least one match")
+	}
+}
+
+func TestBaselinesMatchReference(t *testing.T) {
+	patterns := []string{"cat", "ab{5,20}c", "x(y|z)w", "m{12}"}
+	input := append(makeInput(2, 3000, "abcxyzwm t"),
+		[]byte(" cat a"+strings.Repeat("b", 9)+"c xyw "+strings.Repeat("m", 12))...)
+	want := refCount(t, patterns, input)
+
+	// CAMA / CA on all-NFA compile.
+	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	if len(resNFA.Errors) != 0 {
+		t.Fatal(resNFA.Errors)
+	}
+	pNFA, err := mapper.Map(resNFA, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, archName := range []string{"CAMA", "CA"} {
+		rep, err := SimulateBaseline(archName, resNFA, pNFA, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Matches != want {
+			t.Errorf("%s matches = %d, want %d", archName, rep.Matches, want)
+		}
+	}
+
+	// BVAP on no-LNFA compile.
+	resBV := compile.CompileNoLNFA(patterns, compile.Options{})
+	if len(resBV.Errors) != 0 {
+		t.Fatal(resBV.Errors)
+	}
+	pBV, err := MapBVAP(resBV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateBVAP(resBV, pBV, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches != want {
+		t.Errorf("BVAP matches = %d, want %d", rep.Matches, want)
+	}
+}
+
+func TestNBVAModeBeatsNFAModeOnBoundedRepetitions(t *testing.T) {
+	// Table 2 shape: for BV-heavy patterns, RAP NBVA mode uses less
+	// energy and area than unfolding to NFA mode.
+	patterns := []string{
+		"ab{200}c", "x{150}y", "p{100,300}q", "m{250}", "k{0,180}j",
+	}
+	input := makeInput(3, 20000, "abcxypqmkj ")
+
+	nbvaRep := pipeline(t, patterns, mapper.Options{Depth: 8}, input)
+
+	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	if len(resNFA.Errors) != 0 {
+		t.Fatal(resNFA.Errors)
+	}
+	pNFA, err := mapper.Map(resNFA, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfaRep, err := SimulateRAP(resNFA, pNFA, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if nbvaRep.Energy.TotalPJ() >= nfaRep.Energy.TotalPJ() {
+		t.Errorf("NBVA energy %.0f pJ >= NFA energy %.0f pJ", nbvaRep.Energy.TotalPJ(), nfaRep.Energy.TotalPJ())
+	}
+	if nbvaRep.Area.TotalMM2() >= nfaRep.Area.TotalMM2() {
+		t.Errorf("NBVA area %.4f >= NFA area %.4f", nbvaRep.Area.TotalMM2(), nfaRep.Area.TotalMM2())
+	}
+	if nbvaRep.ThroughputGchS() > nfaRep.ThroughputGchS() {
+		t.Errorf("NBVA throughput %.2f should not exceed NFA %.2f",
+			nbvaRep.ThroughputGchS(), nfaRep.ThroughputGchS())
+	}
+	if nbvaRep.Matches != nfaRep.Matches {
+		t.Errorf("mode disagreement: NBVA %d matches, NFA %d", nbvaRep.Matches, nfaRep.Matches)
+	}
+}
+
+func TestLNFAModeBeatsNFAMode(t *testing.T) {
+	// Table 3 shape: LNFA mode energy << NFA mode for linear patterns.
+	var patterns []string
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 24; i++ {
+		var sb strings.Builder
+		for j := 0; j < 8+r.Intn(8); j++ {
+			sb.WriteByte(byte('a' + r.Intn(6)))
+		}
+		patterns = append(patterns, sb.String())
+	}
+	input := makeInput(5, 20000, "abcdef")
+
+	lnfaRep := pipeline(t, patterns, mapper.Options{BinSize: 8}, input)
+
+	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	pNFA, err := mapper.Map(resNFA, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfaRep, err := SimulateRAP(resNFA, pNFA, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lnfaRep.Energy.TotalPJ() >= nfaRep.Energy.TotalPJ() {
+		t.Errorf("LNFA energy %.0f >= NFA energy %.0f", lnfaRep.Energy.TotalPJ(), nfaRep.Energy.TotalPJ())
+	}
+	if lnfaRep.ThroughputGchS() != nfaRep.ThroughputGchS() {
+		t.Errorf("LNFA and NFA throughput should match: %.2f vs %.2f",
+			lnfaRep.ThroughputGchS(), nfaRep.ThroughputGchS())
+	}
+	if lnfaRep.Matches != nfaRep.Matches {
+		t.Errorf("mode disagreement: LNFA %d, NFA %d", lnfaRep.Matches, nfaRep.Matches)
+	}
+}
+
+func TestDepthTradeoff(t *testing.T) {
+	// Fig 10(a) shape: deeper BVs -> smaller area, lower throughput when
+	// BVs trigger often.
+	patterns := []string{"a{100}b"}
+	input := makeInput(6, 10000, "ab") // 'a'-rich input triggers BVs constantly
+
+	rep4 := pipeline(t, patterns, mapper.Options{Depth: 4}, input)
+	rep32 := pipeline(t, patterns, mapper.Options{Depth: 32}, input)
+
+	if rep32.Area.TotalMM2() > rep4.Area.TotalMM2() {
+		t.Errorf("depth 32 area %.4f > depth 4 area %.4f", rep32.Area.TotalMM2(), rep4.Area.TotalMM2())
+	}
+	if rep32.ThroughputGchS() >= rep4.ThroughputGchS() {
+		t.Errorf("depth 32 throughput %.3f >= depth 4 %.3f",
+			rep32.ThroughputGchS(), rep4.ThroughputGchS())
+	}
+	if rep32.StallCycles <= rep4.StallCycles {
+		t.Errorf("stalls: depth32 %d <= depth4 %d", rep32.StallCycles, rep4.StallCycles)
+	}
+}
+
+func TestBinningSavesEnergy(t *testing.T) {
+	// Fig 10(b) shape: larger bins concentrate initial states and gate
+	// more tiles.
+	var patterns []string
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 32; i++ {
+		var sb strings.Builder
+		for j := 0; j < 12; j++ {
+			sb.WriteByte(byte('a' + r.Intn(8)))
+		}
+		patterns = append(patterns, sb.String())
+	}
+	input := makeInput(8, 10000, "abcdefgh")
+	rep1 := pipeline(t, patterns, mapper.Options{BinSize: 1}, input)
+	rep16 := pipeline(t, patterns, mapper.Options{BinSize: 16}, input)
+	if rep16.Energy.TotalPJ() >= rep1.Energy.TotalPJ() {
+		t.Errorf("bin16 energy %.0f >= bin1 energy %.0f", rep16.Energy.TotalPJ(), rep1.Energy.TotalPJ())
+	}
+	if rep16.Matches != rep1.Matches {
+		t.Errorf("binning changed matches: %d vs %d", rep16.Matches, rep1.Matches)
+	}
+}
+
+func TestStallsReduceThroughput(t *testing.T) {
+	patterns := []string{"a{50}b"}
+	quiet := makeInput(9, 5000, "xyz") // never triggers the BV
+	busy := makeInput(10, 5000, "a")   // always triggers
+
+	repQuiet := pipeline(t, patterns, mapper.Options{Depth: 8}, quiet)
+	repBusy := pipeline(t, patterns, mapper.Options{Depth: 8}, busy)
+	if repQuiet.StallCycles != 0 {
+		t.Errorf("quiet input stalls = %d", repQuiet.StallCycles)
+	}
+	if repBusy.StallCycles == 0 {
+		t.Error("busy input produced no stalls")
+	}
+	if repQuiet.ThroughputGchS() != 2.08 {
+		t.Errorf("quiet throughput = %v, want full clock", repQuiet.ThroughputGchS())
+	}
+	if repBusy.ThroughputGchS() >= repQuiet.ThroughputGchS() {
+		t.Error("stalled throughput should be lower")
+	}
+}
+
+func TestReportMetrics(t *testing.T) {
+	patterns := []string{"abcde"}
+	input := makeInput(11, 1000, "abcde")
+	rep := pipeline(t, patterns, mapper.Options{}, input)
+	if rep.ThroughputGchS() <= 0 || rep.PowerW() <= 0 ||
+		rep.EnergyEfficiency() <= 0 || rep.ComputeDensity() <= 0 {
+		t.Errorf("bad metrics: %s", rep)
+	}
+	if rep.Area.TotalMM2() <= 0 {
+		t.Error("zero area")
+	}
+	if got := rep.String(); !strings.Contains(got, "RAP") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestBVAPStallsVsRAP(t *testing.T) {
+	// BVAP's fixed 4-cycle BVM pipeline vs RAP's depth-32 phase: RAP at
+	// depth 32 must stall more.
+	patterns := []string{"a{200}b"}
+	input := makeInput(12, 5000, "ab")
+
+	rapRep := pipeline(t, patterns, mapper.Options{Depth: 32}, input)
+
+	resBV := compile.CompileNoLNFA(patterns, compile.Options{})
+	pBV, err := MapBVAP(resBV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bvapRep, err := SimulateBVAP(resBV, pBV, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bvapRep.StallCycles >= rapRep.StallCycles {
+		t.Errorf("BVAP stalls %d >= RAP@32 stalls %d", bvapRep.StallCycles, rapRep.StallCycles)
+	}
+	if bvapRep.Matches != rapRep.Matches {
+		t.Errorf("match disagreement: %d vs %d", bvapRep.Matches, rapRep.Matches)
+	}
+}
+
+func TestEmptyPlacement(t *testing.T) {
+	res := compile.Compile(nil, compile.Options{})
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateRAP(res, p, []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches != 0 {
+		t.Error("matches on empty placement")
+	}
+}
+
+func TestBinningIncreasesGatedFraction(t *testing.T) {
+	// §3.2: binning concentrates initial states so more tiles power-gate.
+	// Long motifs so a bin spans several tiles: the non-leading tiles can
+	// power-gate, whereas unbinned mapping puts initial states everywhere.
+	var patterns []string
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 32; i++ {
+		var sb strings.Builder
+		for j := 0; j < 40; j++ {
+			sb.WriteByte(byte('a' + r.Intn(8)))
+		}
+		patterns = append(patterns, sb.String())
+	}
+	input := makeInput(88, 10000, "abcdefgh")
+	gatedFrac := func(bin int) float64 {
+		rep := pipeline(t, patterns, mapper.Options{BinSize: bin}, input)
+		if rep.LNFATileCycles == 0 {
+			t.Fatal("no LNFA tile cycles")
+		}
+		return float64(rep.GatedTileCycles) / float64(rep.LNFATileCycles)
+	}
+	f1 := gatedFrac(1)
+	f16 := gatedFrac(16)
+	if f16 <= f1 {
+		t.Errorf("gated fraction bin16 %.3f <= bin1 %.3f", f16, f1)
+	}
+	if f16 < 0.3 {
+		t.Errorf("bin16 gated fraction only %.3f", f16)
+	}
+}

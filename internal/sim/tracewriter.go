@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/compile"
+)
+
+// TraceEvent is one observability record emitted by Trace: a cycle at
+// which something reportable happened in an array (a match fired, or an
+// NBVA array entered its bit-vector-processing phase).
+type TraceEvent struct {
+	Offset  int64  `json:"offset"` // input symbol offset (0-based)
+	Array   int    `json:"array"`  // array index in the placement
+	Mode    string `json:"mode"`   // NFA / NBVA / LNFA
+	Symbol  byte   `json:"symbol"` // input byte consumed
+	Active  int    `json:"active"` // active STEs in the array
+	Matches int    `json:"matches,omitempty"`
+	BVPhase bool   `json:"bv_phase,omitempty"` // bit-vector-processing triggered
+	Stall   int    `json:"stall,omitempty"`    // stall cycles incurred
+}
+
+// Trace re-executes the functional dataflow of a placement and writes one
+// JSON line per reportable event (matches and bit-vector-processing
+// phases) to w. It is the observability companion to SimulateRAP: the
+// energy/throughput numbers come from SimulateRAP, the per-cycle story
+// from Trace (rapsim -trace).
+func Trace(res *compile.Result, p *arch.Placement, input []byte, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	emit := func(ev TraceEvent) error { return enc.Encode(ev) }
+	for ai := range p.Arrays {
+		plan := &p.Arrays[ai]
+		var err error
+		switch plan.Mode {
+		case arch.ModeNFA:
+			err = traceNFA(res, plan, ai, input, emit)
+		case arch.ModeNBVA:
+			err = traceNBVA(res, plan, ai, input, emit)
+		case arch.ModeLNFA:
+			err = traceLNFA(res, plan, ai, input, emit)
+		default:
+			err = fmt.Errorf("sim: unknown mode %v", plan.Mode)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func traceNFA(res *compile.Result, plan *arch.ArrayPlan, ai int, input []byte, emit func(TraceEvent) error) error {
+	e, err := newNFAArrayEngine(res, plan)
+	if err != nil {
+		return err
+	}
+	for i, b := range input {
+		matches, active, _ := e.step(b, i == len(input)-1)
+		if matches > 0 {
+			if err := emit(TraceEvent{
+				Offset: int64(i), Array: ai, Mode: "NFA", Symbol: b,
+				Active: active, Matches: matches,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func traceNBVA(res *compile.Result, plan *arch.ArrayPlan, ai int, input []byte, emit func(TraceEvent) error) error {
+	e, err := newNBVAArrayEngine(res, plan)
+	if err != nil {
+		return err
+	}
+	var st nbvaStep
+	for i, b := range input {
+		e.step(b, &st)
+		active := 0
+		for _, n := range st.tileMatched {
+			active += n
+		}
+		if st.matches > 0 || st.anyBV {
+			stall := 0
+			if st.anyBV {
+				stall = plan.Depth
+			}
+			if err := emit(TraceEvent{
+				Offset: int64(i), Array: ai, Mode: "NBVA", Symbol: b,
+				Active: active, Matches: st.matches, BVPhase: st.anyBV, Stall: stall,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func traceLNFA(res *compile.Result, plan *arch.ArrayPlan, ai int, input []byte, emit func(TraceEvent) error) error {
+	e, err := newLNFAArrayEngine(res, plan)
+	if err != nil {
+		return err
+	}
+	var st lnfaStep
+	for i, b := range input {
+		e.step(b, &st)
+		if st.matches > 0 {
+			active := 0
+			for _, n := range st.tileActive {
+				active += n
+			}
+			if err := emit(TraceEvent{
+				Offset: int64(i), Array: ai, Mode: "LNFA", Symbol: b,
+				Active: active, Matches: st.matches,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

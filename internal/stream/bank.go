@@ -1,0 +1,106 @@
+package stream
+
+// Bank-level throughput models for NBVA stalls (§3.3). All arrays of a
+// bank process the same input stream; when a tile in an array triggers
+// the bit-vector-processing phase, that array stalls for its BV depth in
+// cycles. How much that costs at the bank level depends on the buffering:
+//
+//   - Lockstep: no buffering — one symbol is broadcast per cycle and every
+//     array must accept it, so the bank waits out the maximum stall at
+//     every symbol.
+//   - Windowed: the 128-entry ping-pong Bank Input Buffer plus the
+//     8-entry Array Input FIFOs let a fast array run up to
+//     window = 128 + 8 symbols ahead of the slowest, absorbing
+//     non-overlapping stalls ("hide the latency across arrays
+//     partially").
+//   - Independent: infinite buffering — the bank finishes when the
+//     slowest array does (the steady-state optimum; internal/sim's
+//     default accounting).
+
+// DefaultWindow is the §3.3 buffering: a 128-entry bank buffer plus an
+// 8-entry array FIFO.
+const DefaultWindow = 128 + 8
+
+// StallTrace records, for one array, the stall cycles incurred after
+// consuming each input symbol (0 = no bit-vector-processing phase).
+type StallTrace []uint16
+
+// LockstepCycles returns the bank cycle count under broadcast with no
+// buffering: every symbol costs 1 + max over arrays of that symbol's
+// stall.
+func LockstepCycles(traces []StallTrace, chars int) int64 {
+	cycles := int64(chars)
+	for k := 0; k < chars; k++ {
+		var m uint16
+		for _, tr := range traces {
+			if k < len(tr) && tr[k] > m {
+				m = tr[k]
+			}
+		}
+		cycles += int64(m)
+	}
+	return cycles
+}
+
+// IndependentCycles returns the bank cycle count with unlimited
+// buffering: the slowest array's own total.
+func IndependentCycles(traces []StallTrace, chars int) int64 {
+	var worst int64
+	for _, tr := range traces {
+		total := int64(chars)
+		for k := 0; k < chars && k < len(tr); k++ {
+			total += int64(tr[k])
+		}
+		if total > worst {
+			worst = total
+		}
+	}
+	if worst == 0 {
+		worst = int64(chars)
+	}
+	return worst
+}
+
+// WindowedCycles simulates the shared stream with a finite lookahead
+// window: array i may consume symbol p_i only while p_i < min_j(p_j) +
+// window. It returns the cycle count; window <= 0 uses DefaultWindow.
+func WindowedCycles(traces []StallTrace, chars, window int) int64 {
+	if len(traces) == 0 || chars == 0 {
+		return int64(chars)
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	n := len(traces)
+	pos := make([]int, n)
+	stall := make([]int, n)
+	var cycles int64
+	for {
+		done := true
+		head := chars
+		for i, p := range pos {
+			if p < chars || stall[i] > 0 {
+				done = false
+			}
+			if p < head {
+				head = p
+			}
+		}
+		if done {
+			return cycles
+		}
+		cycles++
+		for i := 0; i < n; i++ {
+			switch {
+			case stall[i] > 0:
+				stall[i]--
+			case pos[i] < chars && pos[i] < head+window:
+				k := pos[i]
+				pos[i]++
+				if k < len(traces[i]) {
+					stall[i] = int(traces[i][k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/refmatch"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate("Snort", 0.5, 42)
+	b := MustGenerate("Snort", 0.5, 42)
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a.Patterns {
+		if a.Patterns[i] != b.Patterns[i] {
+			t.Fatalf("pattern %d differs: %q vs %q", i, a.Patterns[i], b.Patterns[i])
+		}
+	}
+	c := MustGenerate("Snort", 0.5, 43)
+	same := true
+	for i := range a.Patterns {
+		if i >= len(c.Patterns) || a.Patterns[i] != c.Patterns[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("Nope", 1, 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+	if _, err := GenerateANMLZoo("Nope", 1, 1); err == nil {
+		t.Error("expected error for unknown ANMLZoo dataset")
+	}
+}
+
+func TestAllPatternsCompile(t *testing.T) {
+	for _, name := range Names {
+		d := MustGenerate(name, 0.3, 7)
+		res := compile.Compile(d.Patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			t.Errorf("%s: compile errors: %v", name, res.Errors[0])
+		}
+	}
+	for _, name := range ANMLZooNames {
+		d, err := GenerateANMLZoo(name, 0.3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := compile.Compile(d.Patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			t.Errorf("ANMLZoo/%s: compile errors: %v", name, res.Errors[0])
+		}
+	}
+}
+
+func TestFig1CompositionShapes(t *testing.T) {
+	// Verify the Fig 1 qualitative statements with the real compiler:
+	//  - ClamAV: >60% NBVA (paper >80% with real signatures),
+	//  - Prosite: LNFA-majority, zero NBVA,
+	//  - SpamAssassin: LNFA-majority,
+	//  - RegexLib: NFA-majority.
+	shares := func(name string) map[compile.Mode]float64 {
+		d := MustGenerate(name, 1, 11)
+		res := compile.Compile(d.Patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			t.Fatalf("%s: %v", name, res.Errors[0])
+		}
+		return res.ModeShares()
+	}
+	if s := shares("ClamAV"); s[compile.ModeNBVA] < 0.6 {
+		t.Errorf("ClamAV NBVA share = %.2f", s[compile.ModeNBVA])
+	}
+	if s := shares("Prosite"); s[compile.ModeLNFA] < 0.5 || s[compile.ModeNBVA] > 0 {
+		t.Errorf("Prosite shares = %v", s)
+	}
+	if s := shares("SpamAssassin"); s[compile.ModeLNFA] < 0.4 {
+		t.Errorf("SpamAssassin LNFA share = %.2f", s[compile.ModeLNFA])
+	}
+	if s := shares("RegexLib"); s[compile.ModeNFA] < 0.5 {
+		t.Errorf("RegexLib NFA share = %.2f", s[compile.ModeNFA])
+	}
+}
+
+func TestInputPlantsMatches(t *testing.T) {
+	d := MustGenerate("SpamAssassin", 0.2, 3)
+	input := d.Input(50000, 9)
+	if len(input) != 50000 {
+		t.Fatalf("input length %d", len(input))
+	}
+	m, err := refmatch.Compile(d.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := m.Count(input)
+	if count == 0 {
+		t.Error("no matches in generated input")
+	}
+	// Match rate should stay well below 10% of input symbols.
+	if float64(count) > 0.1*float64(len(input)) {
+		t.Errorf("match rate too high: %d matches in %d bytes", count, len(input))
+	}
+}
+
+func TestInputDeterministic(t *testing.T) {
+	d := MustGenerate("Yara", 0.2, 5)
+	a := d.Input(1000, 1)
+	b := d.Input(1000, 1)
+	if string(a) != string(b) {
+		t.Error("input generation nondeterministic")
+	}
+	c := d.Input(1000, 2)
+	if string(a) == string(c) {
+		t.Error("different input seeds produced identical streams")
+	}
+}
+
+func TestExemplarMatchesOwnPattern(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, name := range Names {
+		d := MustGenerate(name, 0.15, 21)
+		m, err := refmatch.Compile(d.Patterns)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, p := range d.Patterns {
+			ex := Exemplar(p, r)
+			if ex == nil {
+				t.Errorf("%s pattern %q: no exemplar", name, p)
+				continue
+			}
+			found := false
+			for _, match := range m.Scan(ex) {
+				if match.Pattern == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: exemplar %q does not match its pattern %q", name, ex, p)
+			}
+		}
+	}
+}
+
+func TestClamAVIsLargest(t *testing.T) {
+	clam := MustGenerate("ClamAV", 1, 1)
+	yara := MustGenerate("Yara", 1, 1)
+	if len(clam.Patterns) <= len(yara.Patterns) {
+		t.Error("ClamAV should be the largest dataset")
+	}
+}
+
+func TestScaleControlsCount(t *testing.T) {
+	small := MustGenerate("Snort", 0.1, 1)
+	full := MustGenerate("Snort", 1.0, 1)
+	if len(small.Patterns) >= len(full.Patterns) {
+		t.Error("scale did not reduce pattern count")
+	}
+	// Zero/negative scale falls back to 1.0.
+	def := MustGenerate("Snort", 0, 1)
+	if len(def.Patterns) != len(full.Patterns) {
+		t.Error("zero scale should default to 1.0")
+	}
+}
+
+func TestANMLZooCompositions(t *testing.T) {
+	// Table 4 context: ANMLZoo ships pre-unfolded automata, so the ClamAV
+	// stand-in must not generate NBVA-bound patterns, while Dotstar is
+	// NFA-heavy.
+	shares := func(name string) map[compile.Mode]float64 {
+		d, err := GenerateANMLZoo(name, 0.5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := compile.Compile(d.Patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			t.Fatalf("%s: %v", name, res.Errors[0])
+		}
+		return res.ModeShares()
+	}
+	if s := shares("ClamAV"); s[compile.ModeNBVA] > 0.05 {
+		t.Errorf("ANMLZoo ClamAV NBVA share = %v", s[compile.ModeNBVA])
+	}
+	if s := shares("Dotstar"); s[compile.ModeNFA] < 0.5 {
+		t.Errorf("Dotstar NFA share = %v", s[compile.ModeNFA])
+	}
+	if s := shares("Brill"); s[compile.ModeLNFA] < 0.4 {
+		t.Errorf("Brill LNFA share = %v", s[compile.ModeLNFA])
+	}
+}

@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/workload"
 )
 
 const (
@@ -92,3 +94,42 @@ func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
 // BenchmarkFlows runs the flow-multiplexing context-switch analysis (the
 // cost of relaxing the paper's single-flow assumption).
 func BenchmarkFlows(b *testing.B) { runExperiment(b, "flows") }
+
+// BenchmarkServiceScan measures one-shot scan throughput through the
+// serving layer (program cache lookup + worker-pool dispatch + metrics)
+// against calling refmatch.Scan directly on the same compiled matcher,
+// so the service overhead per scan is visible. Parallel to exercise the
+// sharded pool the way concurrent HTTP handlers would.
+func BenchmarkServiceScan(b *testing.B) {
+	d, err := workload.Generate("Snort", benchScale, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := d.Input(benchInput, benchSeed+100)
+
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	prog, _, err := svc.Compile(d.Patterns, service.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("service", func(b *testing.B) {
+		b.SetBytes(int64(len(input)))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := svc.Scan(prog.ID, input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("direct", func(b *testing.B) {
+		b.SetBytes(int64(len(input)))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				prog.Matcher.Scan(input)
+			}
+		})
+	})
+}

@@ -8,11 +8,9 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/automata"
 	"repro/internal/bitstream"
@@ -20,6 +18,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/metrics"
 	"repro/internal/mnrl"
+	"repro/internal/patfile"
 	"repro/internal/regexast"
 	"repro/internal/sim"
 )
@@ -38,22 +37,11 @@ func main() {
 
 	patterns := flag.Args()
 	if *file != "" {
-		f, err := os.Open(*file)
+		pats, err := patfile.Read(*file)
 		if err != nil {
 			fatal(err)
 		}
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			patterns = append(patterns, line)
-		}
-		f.Close()
-		if err := sc.Err(); err != nil {
-			fatal(err)
-		}
+		patterns = append(patterns, pats...)
 	}
 	if len(patterns) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: rapc [flags] pattern...   (or -f file)")

@@ -1,0 +1,93 @@
+// Command rapserve runs the multi-tenant streaming match service: a
+// long-lived HTTP server in front of the refmatch engine with a compiled-
+// program cache, persistent per-session scan state, and a sharded worker
+// pool (see internal/service).
+//
+//	rapserve -addr :8844
+//
+//	# compile (or cache-hit) a ruleset
+//	curl -s localhost:8844/programs -d '{"patterns":["cat","ab{10,48}c"]}'
+//	# one-shot scan
+//	curl -s localhost:8844/programs/$ID/scan --data-binary @input.bin
+//	# streaming session
+//	curl -s localhost:8844/sessions -d '{"program_id":"'$ID'"}'
+//	curl -s localhost:8844/sessions/$SID/data --data-binary @chunk1.bin
+//	curl -s -X DELETE localhost:8844/sessions/$SID
+//	# counters
+//	curl -s localhost:8844/stats
+//
+// Optionally a ruleset can be preloaded at startup with -f, so the first
+// request needs no compile round trip.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/patfile"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8844", "listen address")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "bounded queue depth per worker (full queue -> 429)")
+	cacheSize := flag.Int("cache", 128, "compiled-program LRU capacity")
+	maxSessions := flag.Int("max-sessions", 4096, "open streaming session cap")
+	preload := flag.String("f", "", "preload a pattern file (one pattern per line) into the cache")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		ProgramCacheSize: *cacheSize,
+		MaxSessions:      *maxSessions,
+	})
+	defer svc.Close()
+
+	if *preload != "" {
+		patterns, err := patfile.Read(*preload)
+		if err != nil {
+			fatal(err)
+		}
+		prog, _, err := svc.Compile(patterns, service.CompileOptions{})
+		if err != nil {
+			fatal(fmt.Errorf("preload %s: %w", *preload, err))
+		}
+		fmt.Printf("rapserve: preloaded %d patterns as program %s\n", len(patterns), prog.ID)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("rapserve: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("rapserve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapserve:", err)
+	os.Exit(1)
+}

@@ -9,7 +9,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapper"
 	"repro/internal/mnrl"
+	"repro/internal/patfile"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -46,18 +46,11 @@ func main() {
 	flag.Parse()
 
 	if *file != "" {
-		f, err := os.Open(*file)
+		pats, err := patfile.Read(*file)
 		if err != nil {
 			fatal(err)
 		}
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line != "" && !strings.HasPrefix(line, "#") {
-				patterns = append(patterns, line)
-			}
-		}
-		f.Close()
+		patterns = append(patterns, pats...)
 	}
 	var input []byte
 	switch {

@@ -1,0 +1,130 @@
+package metrics
+
+// Runtime counters and latency histograms for the long-lived serving path
+// (internal/service): lock-free on the hot path, snapshotted as JSON by
+// the /stats endpoint. They complement the offline tables in metrics.go —
+// those report one finished experiment, these report a live process.
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, open sessions).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of exponential latency buckets: bucket i
+// counts observations in [2^i, 2^(i+1)) microseconds, so the histogram
+// spans 1µs up to ~2.3 hours before saturating into the last bucket.
+const histBuckets = 33
+
+// Histogram is a fixed-bucket exponential latency histogram. Observations
+// are atomically bucketed; Snapshot derives count/mean/max and
+// approximate quantiles.
+type Histogram struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		old := h.maxUS.Load()
+		if us <= old || h.maxUS.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	h.buckets[bucketOf(us)].Add(1)
+}
+
+func bucketOf(us int64) int {
+	b := 0
+	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// HistogramSnapshot is the JSON-friendly view of a Histogram.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	MaxUS  int64   `json:"max_us"`
+	P50US  int64   `json:"p50_us"`
+	P90US  int64   `json:"p90_us"`
+	P99US  int64   `json:"p99_us"`
+}
+
+// Snapshot returns a consistent-enough view for reporting (buckets are
+// read without a global lock; concurrent Observe calls may skew a live
+// snapshot by a few samples, which is fine for monitoring).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		MaxUS: h.maxUS.Load(),
+	}
+	if s.Count > 0 {
+		s.MeanUS = float64(h.sumUS.Load()) / float64(s.Count)
+	}
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50US = quantile(counts[:], total, 0.50)
+	s.P90US = quantile(counts[:], total, 0.90)
+	s.P99US = quantile(counts[:], total, 0.99)
+	return s
+}
+
+// quantile returns the upper bound (in µs) of the bucket containing the
+// q-quantile observation.
+func quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return int64(1) << uint(i+1) // bucket upper bound
+		}
+	}
+	return int64(1) << histBuckets
+}

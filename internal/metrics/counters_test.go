@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(10 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MaxUS != 10000 {
+		t.Errorf("max = %d, want 10000", s.MaxUS)
+	}
+	// 100µs lands in bucket [64,128)µs: its upper bound is 128.
+	if s.P50US != 128 {
+		t.Errorf("p50 = %d, want 128", s.P50US)
+	}
+	if s.P99US > s.MaxUS*2 || s.P99US < s.P50US {
+		t.Errorf("p99 = %d out of range (p50 %d, max %d)", s.P99US, s.P50US, s.MaxUS)
+	}
+	if s.MeanUS < 100 || s.MeanUS > 300 {
+		t.Errorf("mean = %f", s.MeanUS)
+	}
+}
+
+func TestHistogramZero(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50US != 0 || s.MeanUS != 0 {
+		t.Errorf("zero histogram snapshot = %+v", s)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for us, want := range cases {
+		if got := bucketOf(us); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", us, got, want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package patfile
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadSkipsBlanksAndComments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	content := "cat\n\n# comment\n  ab{3,9}c  \n#another\nxyz\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cat", "ab{3,9}c", "xyz"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pattern %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadLongLine(t *testing.T) {
+	// A line beyond bufio.MaxScanTokenSize (64 KiB) made the old inlined
+	// loops stop mid-file without any error — the bug this package fixes.
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	long := strings.Repeat("ab", 100_000) // 200 KB
+	if err := os.WriteFile(path, []byte("first\n"+long+"\nlast\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != long || got[2] != "last" {
+		t.Fatalf("long line mishandled: %d patterns", len(got))
+	}
+}
+
+func TestReadOverLongLineErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	huge := strings.Repeat("x", maxLineBytes+1)
+	if err := os.WriteFile(path, []byte(huge), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong (not a silent truncation)", err)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -83,6 +83,15 @@ func (o *Options) setDefaults() {
 	}
 }
 
+// Canonical returns a stable serialization of the options with defaults
+// applied: two Options values that compile identically produce the same
+// canonical form. Program caches key on it together with the patterns.
+func (o Options) Canonical() string {
+	o.setDefaults()
+	return fmt.Sprintf("refmatch/v1|lbf=%d|ut=%d|mns=%d|dfa=%d",
+		o.LinearBudgetFactor, o.UnfoldThreshold, o.MaxNFAStates, o.DFAStateCap)
+}
+
 // Match reports a pattern match ending at byte offset End of the scanned
 // input (0-based, inclusive).
 type Match struct {
@@ -206,6 +215,10 @@ func (m *Matcher) NumPatterns() int { return len(m.patterns) }
 // order (by end offset, then pattern index order within an offset is not
 // guaranteed). Nullable patterns report only at offsets where their
 // automaton fires, matching the AP streaming semantics.
+//
+// Scan keeps all per-scan state in a private Session, so a compiled
+// Matcher may be shared by any number of concurrent Scan/Count calls and
+// open Sessions.
 func (m *Matcher) Scan(input []byte) []Match {
 	var out []Match
 	m.scan(input, func(pattern, end int) {
@@ -223,56 +236,8 @@ func (m *Matcher) Count(input []byte) int {
 }
 
 func (m *Matcher) scan(input []byte, emit func(pattern, end int)) {
-	if m.sa != nil {
-		m.sa.Reset()
-	}
-	nbvaRunners := make([]*nbva.Runner, len(m.nbvas))
-	for i, mach := range m.nbvas {
-		nbvaRunners[i] = nbva.NewRunner(mach)
-	}
-	nfaRunners := make([]*automata.Runner, len(m.nfas))
-	for i, nfa := range m.nfas {
-		nfaRunners[i] = automata.NewRunner(nfa)
-	}
-	dfaRunners := make([]*automata.DFARunner, len(m.dfas))
-	for i, dfa := range m.dfas {
-		dfaRunners[i] = automata.NewDFARunner(dfa)
-	}
-	last := len(input) - 1
-	for i, b := range input {
-		if m.sa != nil {
-			for _, p := range m.sa.Step(b) {
-				emit(m.saPattern[p], i)
-			}
-		}
-		for j, r := range nbvaRunners {
-			if r.Step(b) {
-				mach := m.nbvas[j]
-				if !mach.EndAnchored || i == last {
-					// One report per reporting state, matching the
-					// hardware's per-STE report semantics.
-					for k := 0; k < r.FinalsFired(); k++ {
-						emit(m.nbvaIdx[j], i)
-					}
-				}
-			}
-		}
-		for j, r := range nfaRunners {
-			if r.Step(b) {
-				nfa := m.nfas[j]
-				if !nfa.EndAnchored || i == last {
-					for k := 0; k < r.FinalsActive(); k++ {
-						emit(m.nfaIdx[j], i)
-					}
-				}
-			}
-		}
-		for j, r := range dfaRunners {
-			for k := r.Step(b); k > 0; k-- {
-				emit(m.dfaIdx[j], i)
-			}
-		}
-	}
+	s := m.NewSession()
+	s.feed(input, len(input)-1, emit)
 }
 
 // ErrNoPatterns is returned by MatchersFromMixed helpers when the pattern

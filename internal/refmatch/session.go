@@ -1,0 +1,159 @@
+package refmatch
+
+import (
+	"repro/internal/automata"
+	"repro/internal/nbva"
+	"repro/internal/shiftand"
+)
+
+// Session is a resumable scan over one stream of input: the active state
+// of every engine (Shift-And bits, NBVA vectors, NFA active sets, DFA
+// state) survives between Feed calls, so a stream may arrive in arbitrary
+// chunks and still produce exactly the matches a whole-buffer Scan would.
+// This mirrors the paper's multi-flow operation (§3.3): the compiled
+// pattern set — the CAM contents — is shared read-only, and each flow
+// context-switches only its active vectors.
+//
+// A Session is not safe for concurrent use; callers feed one chunk at a
+// time. Many sessions may share one Matcher concurrently, since the
+// Matcher is immutable after compilation.
+type Session struct {
+	m           *Matcher
+	sa          *shiftand.Runner
+	nbvaRunners []*nbva.Runner
+	nfaRunners  []*automata.Runner
+	dfaRunners  []*automata.DFARunner
+	pos         int // global offset of the next byte to consume
+
+	// endPending holds end-anchored matches that fired at the most recent
+	// byte. They become real matches only if that byte turns out to be the
+	// last of the stream, so Feed clears the slice at every byte and
+	// Finish reports the survivors.
+	endPending []Match
+	finished   bool
+}
+
+// NewSession creates a fresh session positioned at stream offset 0.
+func (m *Matcher) NewSession() *Session {
+	s := &Session{m: m}
+	if m.sa != nil {
+		s.sa = shiftand.NewRunner(m.sa)
+	}
+	s.nbvaRunners = make([]*nbva.Runner, len(m.nbvas))
+	for i, mach := range m.nbvas {
+		s.nbvaRunners[i] = nbva.NewRunner(mach)
+	}
+	s.nfaRunners = make([]*automata.Runner, len(m.nfas))
+	for i, nfa := range m.nfas {
+		s.nfaRunners[i] = automata.NewRunner(nfa)
+	}
+	s.dfaRunners = make([]*automata.DFARunner, len(m.dfas))
+	for i, dfa := range m.dfas {
+		s.dfaRunners[i] = automata.NewDFARunner(dfa)
+	}
+	return s
+}
+
+// Pos returns the number of stream bytes consumed so far; match End
+// offsets are global, i.e. relative to the start of the stream.
+func (s *Session) Pos() int { return s.pos }
+
+// Feed consumes the next chunk of the stream and returns the matches
+// ending inside it, with global End offsets. Matches of end-anchored
+// patterns are withheld until Finish, since only then is the last byte
+// known.
+func (s *Session) Feed(chunk []byte) []Match {
+	var out []Match
+	s.feed(chunk, -1, func(pattern, end int) {
+		out = append(out, Match{Pattern: pattern, End: end})
+	})
+	return out
+}
+
+// Finish ends the stream and returns the end-anchored matches that fired
+// at its final byte. Further Feed calls restart a fresh stream at global
+// offset 0 (all engine state is reset).
+func (s *Session) Finish() []Match {
+	out := s.endPending
+	s.endPending = nil
+	s.finished = true
+	return out
+}
+
+// Reset restores the initial configuration at stream offset 0.
+func (s *Session) Reset() {
+	if s.sa != nil {
+		s.sa.Reset()
+	}
+	for _, r := range s.nbvaRunners {
+		r.Reset()
+	}
+	for _, r := range s.nfaRunners {
+		r.Reset()
+	}
+	for _, r := range s.dfaRunners {
+		r.Reset()
+	}
+	s.pos = 0
+	s.endPending = nil
+	s.finished = false
+}
+
+// feed is the engine-stepping core shared by Feed and Matcher.scan.
+// knownLast is the global offset of the stream's final byte when the
+// caller already knows it (whole-buffer scans), or -1 for streaming; with
+// it, end-anchored matches are emitted inline in the legacy byte order
+// instead of being deferred to Finish.
+func (s *Session) feed(chunk []byte, knownLast int, emit func(pattern, end int)) {
+	if s.finished {
+		s.Reset()
+	}
+	m := s.m
+	for i, b := range chunk {
+		gi := s.pos + i
+		s.endPending = s.endPending[:0]
+		if s.sa != nil {
+			for _, p := range s.sa.Step(b) {
+				emit(m.saPattern[p], gi)
+			}
+		}
+		for j, r := range s.nbvaRunners {
+			if r.Step(b) {
+				mach := m.nbvas[j]
+				for k := 0; k < r.FinalsFired(); k++ {
+					s.emitOrDefer(mach.EndAnchored, m.nbvaIdx[j], gi, knownLast, emit)
+				}
+			}
+		}
+		for j, r := range s.nfaRunners {
+			if r.Step(b) {
+				nfa := m.nfas[j]
+				for k := 0; k < r.FinalsActive(); k++ {
+					s.emitOrDefer(nfa.EndAnchored, m.nfaIdx[j], gi, knownLast, emit)
+				}
+			}
+		}
+		for j, r := range s.dfaRunners {
+			for k := r.Step(b); k > 0; k-- {
+				emit(m.dfaIdx[j], gi)
+			}
+		}
+	}
+	s.pos += len(chunk)
+}
+
+// emitOrDefer routes one engine fire: non-anchored matches are reported
+// immediately; end-anchored ones are reported only at the known last byte,
+// or parked in endPending for Finish when the stream end is unknown.
+func (s *Session) emitOrDefer(endAnchored bool, pattern, gi, knownLast int, emit func(pattern, end int)) {
+	switch {
+	case !endAnchored:
+		emit(pattern, gi)
+	case knownLast >= 0:
+		if gi == knownLast {
+			emit(pattern, gi)
+		}
+	default:
+		s.endPending = append(s.endPending, Match{Pattern: pattern, End: gi})
+	}
+}

@@ -1,0 +1,70 @@
+// Fuzz test for the parse -> String -> parse round trip. Lives in an
+// external test package so it can seed the corpus from the workload
+// generators (workload imports regexast, so an internal test file would
+// form an import cycle).
+package regexast_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/regexast"
+	"repro/internal/workload"
+)
+
+// render reconstructs full pattern syntax from a parsed Regex, including
+// the anchors String(Root) does not carry.
+func render(re *regexast.Regex) string {
+	s := regexast.String(re.Root)
+	if re.StartAnchored {
+		s = "^" + s
+	}
+	if re.EndAnchored {
+		s += "$"
+	}
+	return s
+}
+
+// FuzzParse checks that every pattern the parser accepts can be printed
+// and re-parsed to the identical AST (same tree after Simplify, same
+// anchors), and that printing is a fixed point: parse(print(parse(p)))
+// prints to the same string. Patterns the parser rejects are skipped —
+// the property under test is printer/parser agreement, not acceptance.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"", "a", "abc", "a|b", "a(b|c)d", "(a*)*", "a**", "(a+)?",
+		"a{2,5}{3}", "x(a|)y", "^abc$", "a\\{3}", "[a-c]{0,0}",
+		"(?i)Ab[C-f]", "\\x00\\xff", "[\\]\\-^]", "[^a-z]", ".*",
+		"ab{10,48}c", "a{4,}", "get\\ \\/[a-z]{1,8}", "(ab)+c",
+	}
+	for _, name := range []string{"Snort", "ClamAV", "Prosite", "SpamAssassin"} {
+		d, err := workload.Generate(name, 0.1, 11)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, d.Patterns...)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		re, err := regexast.Parse(pattern)
+		if err != nil {
+			return
+		}
+		printed := render(re)
+		re2, err := regexast.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %q -> %q: %v", pattern, printed, err)
+		}
+		if !reflect.DeepEqual(re.Root, re2.Root) {
+			t.Fatalf("AST changed across round trip: %q -> %q -> %q", pattern, printed, render(re2))
+		}
+		if re.StartAnchored != re2.StartAnchored || re.EndAnchored != re2.EndAnchored {
+			t.Fatalf("anchors changed across round trip: %q -> %q", pattern, printed)
+		}
+		if again := render(re2); again != printed {
+			t.Fatalf("printing is not a fixed point: %q -> %q -> %q", pattern, printed, again)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// programCache is an LRU cache of compiled programs with single-flight
+// compilation: concurrent requests for the same key block on one compile
+// and all receive its result. Eviction only drops the cache's reference —
+// sessions opened against an evicted program keep their pointer and keep
+// scanning (the matcher is immutable; memory is reclaimed by GC when the
+// last session closes).
+type programCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *Program
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+
+	hits      metrics.Counter // served from cache
+	coalesced metrics.Counter // joined an in-progress compile
+	misses    metrics.Counter // actual compiles started
+	evictions metrics.Counter
+}
+
+type flight struct {
+	done chan struct{}
+	prog *Program
+	err  error
+}
+
+func newProgramCache(capacity int) *programCache {
+	return &programCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// getOrCompile returns the cached program for key, or runs build exactly
+// once per key no matter how many callers race. The bool reports whether
+// the caller was served without triggering a compile (cache hit or
+// coalesced onto another caller's compile).
+func (c *programCache) getOrCompile(key string, build func() (*Program, error)) (*Program, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		prog := el.Value.(*Program)
+		c.mu.Unlock()
+		return prog, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced.Inc()
+		c.mu.Unlock()
+		<-f.done
+		return f.prog, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses.Inc()
+	c.mu.Unlock()
+
+	f.prog, f.err = build()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insertLocked(key, f.prog)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.prog, false, f.err
+}
+
+// get returns the program by key/ID, refreshing its recency.
+func (c *programCache) get(key string) (*Program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*Program), true
+}
+
+func (c *programCache) insertLocked(key string, p *Program) {
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(p)
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		victim := back.Value.(*Program)
+		c.ll.Remove(back)
+		delete(c.byKey, victim.ID)
+		c.evictions.Inc()
+	}
+}
+
+// len returns the number of cached programs.
+func (c *programCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// snapshot returns the stats of every cached program, most recent first.
+func (c *programCache) snapshot() []ProgramStats {
+	c.mu.Lock()
+	progs := make([]*Program, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		progs = append(progs, el.Value.(*Program))
+	}
+	c.mu.Unlock()
+	out := make([]ProgramStats, len(progs))
+	for i, p := range progs {
+		out[i] = p.Stats()
+	}
+	return out
+}
+
+// CacheStats is the JSON snapshot of the cache counters.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Coalesced int64 `json:"coalesced"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *programCache) stats() CacheStats {
+	return CacheStats{
+		Size:      c.len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits.Value(),
+		Coalesced: c.coalesced.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+	}
+}

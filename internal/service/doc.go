@@ -1,0 +1,30 @@
+// Package service is the multi-tenant serving layer of the reproduction:
+// a long-lived match service in front of the refmatch engine, shaped like
+// the systems the paper positions RAP against (Hyperscan's
+// compile-once/scan-many, persistent per-stream state) and like the
+// paper's own bank I/O subsystem (§3.3), which multiplexes many
+// independent input flows over one set of compiled patterns.
+//
+// Three pieces compose it:
+//
+//   - A program cache: pattern sets compile once into an immutable
+//     refmatch.Matcher, keyed by a content hash of (patterns, options),
+//     with LRU eviction and single-flight deduplication so concurrent
+//     requests for the same ruleset compile exactly once.
+//
+//   - Streaming sessions: a client opens a session against a cached
+//     program and feeds input in chunks; all engine state (Shift-And
+//     bits, NBVA vectors, NFA active sets, DFA state) persists between
+//     chunks via refmatch.Session — the software analogue of §3.3's
+//     per-flow context switch, where only active vectors are swapped and
+//     the CAM contents stay put.
+//
+//   - A sharded worker pool: scans execute on N workers (≈ GOMAXPROCS)
+//     behind bounded FIFO queues (internal/stream's bank-buffer FIFO),
+//     with queue-full backpressure surfaced to clients as 429s. Chunks of
+//     one session always hash to the same shard, so per-stream order is
+//     preserved without locks across scans, and per-worker flow context
+//     switches are counted exactly as the flows experiment counts them.
+//
+// The HTTP surface (see Handler) is exercised by cmd/rapserve.
+package service

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/refmatch"
+)
+
+// maxBodyBytes bounds scan/compile request bodies (32 MiB).
+const maxBodyBytes = 32 << 20
+
+// Handler returns the HTTP surface of the service:
+//
+//	POST   /programs            {"patterns":[...], "options":{...}} → compile or cache-hit
+//	POST   /programs/{id}/scan  raw bytes → one-shot matches
+//	POST   /sessions            {"program_id":...} → open streaming session
+//	POST   /sessions/{id}/data  raw bytes → matches in this chunk
+//	DELETE /sessions/{id}       → end-anchored matches + totals
+//	GET    /stats               → counters snapshot
+//	GET    /healthz             → ok
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /programs", s.handleCompile)
+	mux.HandleFunc("POST /programs/{id}/scan", s.handleScan)
+	mux.HandleFunc("POST /sessions", s.handleOpenSession)
+	mux.HandleFunc("POST /sessions/{id}/data", s.handleFeed)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// Wire types.
+
+type compileRequest struct {
+	Patterns []string       `json:"patterns"`
+	Options  CompileOptions `json:"options"`
+}
+
+type compileResponse struct {
+	ProgramID   string         `json:"program_id"`
+	CacheHit    bool           `json:"cache_hit"`
+	NumPatterns int            `json:"num_patterns"`
+	Engines     map[string]int `json:"engines"`
+}
+
+type matchJSON struct {
+	Pattern int `json:"pattern"`
+	End     int `json:"end"`
+}
+
+type scanResponse struct {
+	Count   int         `json:"count"`
+	Matches []matchJSON `json:"matches"`
+}
+
+type openSessionRequest struct {
+	ProgramID string `json:"program_id"`
+}
+
+type openSessionResponse struct {
+	SessionID string `json:"session_id"`
+}
+
+type feedResponse struct {
+	Count   int         `json:"count"`
+	Offset  int         `json:"offset"` // stream bytes consumed so far
+	Matches []matchJSON `json:"matches"`
+}
+
+type closeSessionResponse struct {
+	Count   int            `json:"count"` // end-anchored matches at final byte
+	Matches []matchJSON    `json:"matches"`
+	Summary SessionSummary `json:"summary"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decode request: %w", err), http.StatusBadRequest)
+		return
+	}
+	prog, hit, err := s.Compile(req.Patterns, req.Options)
+	if err != nil {
+		writeError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, compileResponse{
+		ProgramID:   prog.ID,
+		CacheHit:    hit,
+		NumPatterns: prog.Matcher.NumPatterns(),
+		Engines:     prog.engineCounts(),
+	})
+}
+
+func (s *Service) handleScan(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, err, http.StatusBadRequest)
+		return
+	}
+	matches, err := s.Scan(r.PathValue("id"), data)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scanResponse{Count: len(matches), Matches: toJSON(matches)})
+}
+
+func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req openSessionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decode request: %w", err), http.StatusBadRequest)
+		return
+	}
+	id, err := s.OpenSession(req.ProgramID)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, openSessionResponse{SessionID: id})
+}
+
+func (s *Service) handleFeed(w http.ResponseWriter, r *http.Request) {
+	chunk, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, err, http.StatusBadRequest)
+		return
+	}
+	id := r.PathValue("id")
+	matches, err := s.Feed(id, chunk)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	offset := 0
+	if sess, serr := s.session(id); serr == nil {
+		offset = sess.stream.Pos()
+	}
+	writeJSON(w, http.StatusOK, feedResponse{
+		Count:   len(matches),
+		Offset:  offset,
+		Matches: toJSON(matches),
+	})
+}
+
+func (s *Service) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	final, summary, err := s.CloseSession(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, closeSessionResponse{
+		Count:   len(final),
+		Matches: toJSON(final),
+		Summary: summary,
+	})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func toJSON(ms []refmatch.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{Pattern: m.Pattern, End: m.End}
+	}
+	return out
+}
+
+// writeServiceError maps service errors to HTTP statuses: unknown IDs to
+// 404, backpressure (full queues, session cap) to 429, the rest to 500.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, err, http.StatusNotFound)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrSessionLimit):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, err, http.StatusTooManyRequests)
+	case errors.Is(err, ErrClosed):
+		writeError(w, err, http.StatusServiceUnavailable)
+	default:
+		writeError(w, err, http.StatusInternalServerError)
+	}
+}
+
+func writeError(w http.ResponseWriter, err error, status int) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

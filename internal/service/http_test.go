@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/refmatch"
+	"repro/internal/workload"
+)
+
+// doJSON posts body and decodes the JSON response into out.
+func doJSON(t *testing.T, client *http.Client, method, url string, body []byte, out interface{}) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, url, data, err)
+		}
+	}
+	return resp
+}
+
+// TestRapserveEndToEnd is the acceptance test of the serving tentpole:
+// a Snort-profile ruleset is compiled once, the same input is scanned
+// one-shot and split across 4 streaming chunks from 8 concurrent
+// sessions, and every path must report the byte-identical match set of a
+// direct refmatch.Scan over the whole buffer. A second identical compile
+// must be a cache hit observable in /stats.
+func TestRapserveEndToEnd(t *testing.T) {
+	d, err := workload.Generate("Snort", 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := d.Input(20000, 107)
+
+	// Ground truth: direct refmatch over the whole buffer.
+	m, err := refmatch.Compile(d.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Scan(input)
+	sortMatches(want)
+	if len(want) == 0 {
+		t.Fatal("generated input produced no matches; test would be vacuous")
+	}
+
+	svc := New(Config{Workers: 4, QueueDepth: 1024})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Compile via HTTP.
+	body, _ := json.Marshal(compileRequest{Patterns: d.Patterns})
+	var comp compileResponse
+	resp := doJSON(t, client, "POST", srv.URL+"/programs", body, &comp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d", resp.StatusCode)
+	}
+	if comp.CacheHit {
+		t.Error("first compile was a cache hit")
+	}
+	if comp.NumPatterns != len(d.Patterns) {
+		t.Errorf("num_patterns = %d, want %d", comp.NumPatterns, len(d.Patterns))
+	}
+
+	// Identical second compile: cache hit, no recompile.
+	var comp2 compileResponse
+	doJSON(t, client, "POST", srv.URL+"/programs", body, &comp2)
+	if !comp2.CacheHit || comp2.ProgramID != comp.ProgramID {
+		t.Fatalf("second compile hit=%v id match=%v", comp2.CacheHit, comp2.ProgramID == comp.ProgramID)
+	}
+	var st Stats
+	doJSON(t, client, "GET", srv.URL+"/stats", nil, &st)
+	if st.Cache.Misses != 1 {
+		t.Errorf("stats: %d compiles for 2 identical requests", st.Cache.Misses)
+	}
+	if st.Cache.Hits < 1 {
+		t.Errorf("stats: cache hits = %d, want >= 1", st.Cache.Hits)
+	}
+
+	// (a) one-shot scan over HTTP.
+	var oneShot scanResponse
+	resp = doJSON(t, client, "POST", srv.URL+"/programs/"+comp.ProgramID+"/scan", input, &oneShot)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status %d", resp.StatusCode)
+	}
+	got := fromJSON(oneShot.Matches)
+	sortMatches(got)
+	if !matchesEqual(got, want) {
+		t.Fatalf("one-shot: %d matches != direct %d", len(got), len(want))
+	}
+
+	// (b) the same input split across 4 chunks from 8 concurrent sessions.
+	const nSessions = 8
+	chunkBounds := []int{0, len(input) / 4, len(input) / 2, 3 * len(input) / 4, len(input)}
+	var wg sync.WaitGroup
+	errCh := make(chan error, nSessions)
+	for si := 0; si < nSessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sb, _ := json.Marshal(openSessionRequest{ProgramID: comp.ProgramID})
+			req, _ := http.NewRequest("POST", srv.URL+"/sessions", bytes.NewReader(sb))
+			resp, err := client.Do(req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			var open openSessionResponse
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := json.Unmarshal(data, &open); err != nil {
+				errCh <- fmt.Errorf("session %d open: %v (%s)", si, err, data)
+				return
+			}
+			var streamed []refmatch.Match
+			for c := 0; c+1 < len(chunkBounds); c++ {
+				chunk := input[chunkBounds[c]:chunkBounds[c+1]]
+				req, _ := http.NewRequest("POST", srv.URL+"/sessions/"+open.SessionID+"/data", bytes.NewReader(chunk))
+				resp, err := client.Do(req)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var feed feedResponse
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("session %d chunk %d: status %d (%s)", si, c, resp.StatusCode, data)
+					return
+				}
+				if err := json.Unmarshal(data, &feed); err != nil {
+					errCh <- err
+					return
+				}
+				streamed = append(streamed, fromJSON(feed.Matches)...)
+			}
+			req, _ = http.NewRequest("DELETE", srv.URL+"/sessions/"+open.SessionID, nil)
+			resp, err = client.Do(req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			var cl closeSessionResponse
+			data, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err := json.Unmarshal(data, &cl); err != nil {
+				errCh <- err
+				return
+			}
+			streamed = append(streamed, fromJSON(cl.Matches)...)
+			sortMatches(streamed)
+			if !matchesEqual(streamed, want) {
+				errCh <- fmt.Errorf("session %d: %d streamed matches != direct %d", si, len(streamed), len(want))
+				return
+			}
+			if cl.Summary.Bytes != int64(len(input)) {
+				errCh <- fmt.Errorf("session %d: bytes %d != %d", si, cl.Summary.Bytes, len(input))
+			}
+		}(si)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Final stats sanity: all sessions closed, traffic accounted.
+	doJSON(t, client, "GET", srv.URL+"/stats", nil, &st)
+	if st.Sessions.Open != 0 || st.Sessions.Opened != nSessions {
+		t.Errorf("sessions = %+v", st.Sessions)
+	}
+	wantBytes := int64(len(input)) * (nSessions + 1)
+	if st.ScanBytes != wantBytes {
+		t.Errorf("scan_bytes = %d, want %d", st.ScanBytes, wantBytes)
+	}
+	if st.ScanLatency.Count == 0 {
+		t.Error("latency histogram never observed")
+	}
+	if len(st.Programs) != 1 || st.Programs[0].Sessions != nSessions {
+		t.Errorf("program stats = %+v", st.Programs)
+	}
+}
+
+func fromJSON(ms []matchJSON) []refmatch.Match {
+	out := make([]refmatch.Match, len(ms))
+	for i, m := range ms {
+		out[i] = refmatch.Match{Pattern: m.Pattern, End: m.End}
+	}
+	return out
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	var e errorResponse
+	if resp := doJSON(t, client, "POST", srv.URL+"/programs/deadbeef/scan", []byte("x"), &e); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("scan unknown program: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, client, "POST", srv.URL+"/sessions/none/data", []byte("x"), &e); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("feed unknown session: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, client, "DELETE", srv.URL+"/sessions/none", nil, &e); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("close unknown session: status %d", resp.StatusCode)
+	}
+	body, _ := json.Marshal(compileRequest{Patterns: []string{"("}})
+	if resp := doJSON(t, client, "POST", srv.URL+"/programs", body, &e); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad pattern: status %d", resp.StatusCode)
+	}
+	body, _ = json.Marshal(compileRequest{})
+	if resp := doJSON(t, client, "POST", srv.URL+"/programs", body, &e); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty patterns: status %d", resp.StatusCode)
+	}
+	var h map[string]string
+	if resp := doJSON(t, client, "GET", srv.URL+"/healthz", nil, &h); resp.StatusCode != http.StatusOK || h["status"] != "ok" {
+		t.Errorf("healthz: %d %v", resp.StatusCode, h)
+	}
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Errors surfaced by the worker pool.
+var (
+	// ErrQueueFull is backpressure: the target shard's queue is at
+	// capacity. HTTP maps it to 429.
+	ErrQueueFull = errors.New("service: worker queue full")
+	// ErrClosed reports submission to a shut-down service.
+	ErrClosed = errors.New("service: closed")
+)
+
+// task is one unit of work: a flow identity (session or one-shot scan)
+// plus the closure to run.
+type task struct {
+	flow uint64
+	run  func()
+}
+
+// pool is a sharded worker pool: one goroutine per shard, each draining a
+// bounded FIFO (the same stream.FIFO that models the §3.3 bank input
+// buffers). Tasks are routed by flow, so all chunks of one session land
+// on one shard and execute in submission order — shard affinity replaces
+// per-stream locking, exactly how the bank arbiter serializes one flow's
+// data. A worker that pops a task from a different flow than its previous
+// one counts a context switch, mirroring the flows experiment's
+// accounting for multi-flow multiplexing cost.
+type pool struct {
+	shards []*shard
+
+	submitted metrics.Counter
+	rejected  metrics.Counter
+	switches  metrics.Counter
+	queued    metrics.Gauge
+
+	wg sync.WaitGroup
+}
+
+type shard struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        *stream.FIFO[task]
+	closed   bool
+	lastFlow uint64
+	hasLast  bool
+}
+
+func newPool(workers, queueDepth int) *pool {
+	p := &pool{shards: make([]*shard, workers)}
+	for i := range p.shards {
+		sh := &shard{q: stream.NewFIFO[task](queueDepth)}
+		sh.cond = sync.NewCond(&sh.mu)
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go p.worker(sh)
+	}
+	return p
+}
+
+// submit enqueues run on flow's shard. It fails fast with ErrQueueFull
+// when the shard queue is at capacity — the caller turns that into
+// backpressure rather than blocking the accept path.
+func (p *pool) submit(flow uint64, run func()) error {
+	sh := p.shards[flow%uint64(len(p.shards))]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	if !sh.q.Push(task{flow: flow, run: run}) {
+		sh.mu.Unlock()
+		p.rejected.Inc()
+		return ErrQueueFull
+	}
+	p.submitted.Inc()
+	p.queued.Add(1)
+	sh.cond.Signal()
+	sh.mu.Unlock()
+	return nil
+}
+
+func (p *pool) worker(sh *shard) {
+	defer p.wg.Done()
+	for {
+		sh.mu.Lock()
+		for sh.q.Empty() && !sh.closed {
+			sh.cond.Wait()
+		}
+		t, ok := sh.q.Pop()
+		if !ok {
+			// Queue empty, so we were woken for shutdown.
+			sh.mu.Unlock()
+			return
+		}
+		if sh.hasLast && sh.lastFlow != t.flow {
+			p.switches.Inc()
+		}
+		sh.lastFlow, sh.hasLast = t.flow, true
+		sh.mu.Unlock()
+		p.queued.Add(-1)
+		t.run()
+	}
+}
+
+// close stops accepting work, drains queued tasks, and waits for workers.
+func (p *pool) close() {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	p.wg.Wait()
+}
+
+// PoolStats is the JSON snapshot of the pool counters.
+type PoolStats struct {
+	Workers         int   `json:"workers"`
+	QueueCapacity   int   `json:"queue_capacity_per_worker"`
+	QueueDepth      int64 `json:"queue_depth"`
+	Submitted       int64 `json:"submitted"`
+	Rejected        int64 `json:"rejected"`
+	ContextSwitches int64 `json:"context_switches"`
+}
+
+func (p *pool) stats() PoolStats {
+	return PoolStats{
+		Workers:         len(p.shards),
+		QueueCapacity:   p.shards[0].q.Cap(),
+		QueueDepth:      p.queued.Value(),
+		Submitted:       p.submitted.Value(),
+		Rejected:        p.rejected.Value(),
+		ContextSwitches: p.switches.Value(),
+	}
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/refmatch"
+)
+
+// CompileOptions is the wire form of refmatch.Options. The zero value
+// means defaults; distinct option sets hash to distinct program IDs.
+type CompileOptions struct {
+	LinearBudgetFactor int `json:"linear_budget_factor,omitempty"`
+	UnfoldThreshold    int `json:"unfold_threshold,omitempty"`
+	MaxNFAStates       int `json:"max_nfa_states,omitempty"`
+	DFAStateCap        int `json:"dfa_state_cap,omitempty"`
+}
+
+func (o CompileOptions) refmatch() refmatch.Options {
+	return refmatch.Options{
+		LinearBudgetFactor: o.LinearBudgetFactor,
+		UnfoldThreshold:    o.UnfoldThreshold,
+		MaxNFAStates:       o.MaxNFAStates,
+		DFAStateCap:        o.DFAStateCap,
+	}
+}
+
+// programKey is the content hash identifying a compiled program: same
+// patterns in the same order with equivalent options → same key.
+func programKey(patterns []string, opts CompileOptions) string {
+	return core.HashStrings(opts.refmatch().Canonical(), patterns...)
+}
+
+// Program is one compiled, cached pattern set. The Matcher is immutable
+// after compilation and shared read-only by every scan and session, so a
+// Program needs no lock; its counters are atomic.
+type Program struct {
+	ID        string
+	Patterns  []string
+	Matcher   *refmatch.Matcher
+	CreatedAt time.Time
+
+	scans    metrics.Counter
+	bytes    metrics.Counter
+	matches  metrics.Counter
+	sessions metrics.Counter // sessions ever opened against this program
+}
+
+// ProgramStats is the JSON snapshot of one program's counters.
+type ProgramStats struct {
+	ID          string         `json:"id"`
+	NumPatterns int            `json:"num_patterns"`
+	Engines     map[string]int `json:"engines"`
+	CreatedAt   time.Time      `json:"created_at"`
+	Scans       int64          `json:"scans"`
+	Bytes       int64          `json:"bytes"`
+	Matches     int64          `json:"matches"`
+	Sessions    int64          `json:"sessions"`
+}
+
+// Stats snapshots the program counters.
+func (p *Program) Stats() ProgramStats {
+	return ProgramStats{
+		ID:          p.ID,
+		NumPatterns: p.Matcher.NumPatterns(),
+		Engines:     p.engineCounts(),
+		CreatedAt:   p.CreatedAt,
+		Scans:       p.scans.Value(),
+		Bytes:       p.bytes.Value(),
+		Matches:     p.matches.Value(),
+		Sessions:    p.sessions.Value(),
+	}
+}
+
+func (p *Program) engineCounts() map[string]int {
+	out := map[string]int{}
+	for _, e := range p.Matcher.Engines() {
+		out[e.String()]++
+	}
+	return out
+}

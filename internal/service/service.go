@@ -1,0 +1,292 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/refmatch"
+)
+
+// Errors surfaced by the service API.
+var (
+	// ErrNotFound reports an unknown program or session ID.
+	ErrNotFound = errors.New("service: not found")
+	// ErrSessionLimit reports the open-session cap; HTTP maps it to 429.
+	ErrSessionLimit = errors.New("service: session limit reached")
+)
+
+// Config sizes the service. Zero fields take defaults.
+type Config struct {
+	// Workers is the shard/worker count; default runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth is the bounded per-worker queue; default 64. A full
+	// queue rejects with ErrQueueFull (backpressure, not blocking).
+	QueueDepth int
+	// ProgramCacheSize caps the compiled-program LRU; default 128.
+	ProgramCacheSize int
+	// MaxSessions caps concurrently open sessions; default 4096.
+	MaxSessions int
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ProgramCacheSize <= 0 {
+		c.ProgramCacheSize = 128
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+}
+
+// Service is the multi-tenant match service: program cache + session
+// table + sharded worker pool. All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	cache *programCache
+	pool  *pool
+	start time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	nextFlow atomic.Uint64
+	nextSess atomic.Uint64
+
+	scanLatency metrics.Histogram
+	scans       metrics.Counter
+	scanBytes   metrics.Counter
+	scanMatches metrics.Counter
+	opened      metrics.Counter
+	closedCount metrics.Counter
+}
+
+// New creates a started service; Close releases its workers.
+func New(cfg Config) *Service {
+	cfg.setDefaults()
+	return &Service{
+		cfg:      cfg,
+		cache:    newProgramCache(cfg.ProgramCacheSize),
+		pool:     newPool(cfg.Workers, cfg.QueueDepth),
+		start:    time.Now(),
+		sessions: map[string]*session{},
+	}
+}
+
+// Close stops the worker pool. Outstanding queued tasks are drained.
+func (s *Service) Close() { s.pool.close() }
+
+// Compile returns the program for (patterns, opts), compiling at most
+// once per distinct content hash. The bool reports whether the request
+// was served without a fresh compile (cache hit or single-flight join).
+func (s *Service) Compile(patterns []string, opts CompileOptions) (*Program, bool, error) {
+	if len(patterns) == 0 {
+		return nil, false, fmt.Errorf("service: empty pattern list")
+	}
+	key := programKey(patterns, opts)
+	return s.cache.getOrCompile(key, func() (*Program, error) {
+		m, err := refmatch.CompileWithOptions(patterns, opts.refmatch())
+		if err != nil {
+			return nil, err
+		}
+		return &Program{
+			ID:        key,
+			Patterns:  append([]string(nil), patterns...),
+			Matcher:   m,
+			CreatedAt: time.Now(),
+		}, nil
+	})
+}
+
+// Program returns a cached program by ID.
+func (s *Service) Program(id string) (*Program, bool) { return s.cache.get(id) }
+
+// runOn executes fn on the pool shard of flow and waits for it.
+func (s *Service) runOn(flow uint64, fn func()) error {
+	done := make(chan struct{})
+	if err := s.pool.submit(flow, func() {
+		defer close(done)
+		fn()
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Scan runs a one-shot whole-buffer scan of data against a cached
+// program, dispatched through the worker pool (so it shares queueing,
+// backpressure and accounting with streaming traffic).
+func (s *Service) Scan(programID string, data []byte) ([]refmatch.Match, error) {
+	prog, ok := s.cache.get(programID)
+	if !ok {
+		return nil, fmt.Errorf("%w: program %s", ErrNotFound, programID)
+	}
+	var matches []refmatch.Match
+	t0 := time.Now()
+	err := s.runOn(s.nextFlow.Add(1), func() {
+		matches = prog.Matcher.Scan(data)
+		s.scanLatency.Observe(time.Since(t0))
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.account(prog, nil, len(data), len(matches))
+	return matches, nil
+}
+
+// OpenSession opens a streaming session against a cached program and
+// returns its ID.
+func (s *Service) OpenSession(programID string) (string, error) {
+	prog, ok := s.cache.get(programID)
+	if !ok {
+		return "", fmt.Errorf("%w: program %s", ErrNotFound, programID)
+	}
+	sess := &session{
+		id:      fmt.Sprintf("sess-%d", s.nextSess.Add(1)),
+		prog:    prog,
+		flow:    s.nextFlow.Add(1),
+		created: time.Now(),
+		stream:  prog.Matcher.NewSession(),
+	}
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		return "", ErrSessionLimit
+	}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	prog.sessions.Inc()
+	s.opened.Inc()
+	return sess.id, nil
+}
+
+func (s *Service) session(id string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, id)
+	}
+	return sess, nil
+}
+
+// Feed streams the next chunk into a session and returns the matches
+// ending inside it (global stream offsets). Matches of end-anchored
+// patterns arrive from CloseSession, when the stream end is known.
+func (s *Service) Feed(sessionID string, chunk []byte) ([]refmatch.Match, error) {
+	sess, err := s.session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	var matches []refmatch.Match
+	closed := false
+	t0 := time.Now()
+	err = s.runOn(sess.flow, func() {
+		if sess.closed {
+			closed = true
+			return
+		}
+		matches = sess.stream.Feed(chunk)
+		s.scanLatency.Observe(time.Since(t0))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if closed {
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
+	}
+	sess.chunks.Inc()
+	s.account(sess.prog, sess, len(chunk), len(matches))
+	return matches, nil
+}
+
+// CloseSession ends the stream: it returns the end-anchored matches that
+// fired at the final byte, plus the session's totals, and frees the slot.
+func (s *Service) CloseSession(sessionID string) ([]refmatch.Match, SessionSummary, error) {
+	sess, err := s.session(sessionID)
+	if err != nil {
+		return nil, SessionSummary{}, err
+	}
+	var final []refmatch.Match
+	closed := false
+	err = s.runOn(sess.flow, func() {
+		if sess.closed {
+			closed = true
+			return
+		}
+		sess.closed = true
+		final = sess.stream.Finish()
+	})
+	if err != nil {
+		return nil, SessionSummary{}, err
+	}
+	if closed {
+		return nil, SessionSummary{}, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
+	}
+	s.account(sess.prog, sess, 0, len(final))
+	s.mu.Lock()
+	delete(s.sessions, sessionID)
+	s.mu.Unlock()
+	s.closedCount.Inc()
+	return final, sess.summary(), nil
+}
+
+// account folds one scan/chunk result into program, session and service
+// counters.
+func (s *Service) account(prog *Program, sess *session, nbytes, nmatches int) {
+	prog.scans.Inc()
+	prog.bytes.Add(int64(nbytes))
+	prog.matches.Add(int64(nmatches))
+	s.scans.Inc()
+	s.scanBytes.Add(int64(nbytes))
+	s.scanMatches.Add(int64(nmatches))
+	if sess != nil {
+		sess.bytes.Add(int64(nbytes))
+		sess.matches.Add(int64(nmatches))
+	}
+}
+
+// Stats is the full JSON snapshot served by /stats.
+type Stats struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Scans         int64                     `json:"scans"`
+	ScanBytes     int64                     `json:"scan_bytes"`
+	ScanMatches   int64                     `json:"scan_matches"`
+	ScanLatency   metrics.HistogramSnapshot `json:"scan_latency"`
+	Cache         CacheStats                `json:"cache"`
+	Pool          PoolStats                 `json:"pool"`
+	Sessions      SessionStats              `json:"sessions"`
+	Programs      []ProgramStats            `json:"programs"`
+}
+
+// Stats snapshots every counter in the service.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	open := int64(len(s.sessions))
+	s.mu.Unlock()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Scans:         s.scans.Value(),
+		ScanBytes:     s.scanBytes.Value(),
+		ScanMatches:   s.scanMatches.Value(),
+		ScanLatency:   s.scanLatency.Snapshot(),
+		Cache:         s.cache.stats(),
+		Pool:          s.pool.stats(),
+		Sessions: SessionStats{
+			Open:   open,
+			Opened: s.opened.Value(),
+			Closed: s.closedCount.Value(),
+		},
+		Programs: s.cache.snapshot(),
+	}
+}

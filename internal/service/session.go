@@ -1,0 +1,52 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/refmatch"
+)
+
+// session is one open stream. Its refmatch.Session is only ever touched
+// from pool tasks submitted under the session's flow, which all land on
+// one shard and run serialized in submission order — so the stream state
+// needs no lock of its own. The counters are atomic for /stats readers.
+type session struct {
+	id      string
+	prog    *Program
+	flow    uint64
+	created time.Time
+
+	stream *refmatch.Session
+	closed bool // guarded by shard serialization: only pool tasks touch it
+
+	bytes   metrics.Counter
+	chunks  metrics.Counter
+	matches metrics.Counter
+}
+
+// SessionStats is the JSON snapshot of the session-table counters.
+type SessionStats struct {
+	Open   int64 `json:"open"`
+	Opened int64 `json:"opened"`
+	Closed int64 `json:"closed"`
+}
+
+// SessionSummary is returned when a session closes.
+type SessionSummary struct {
+	SessionID string `json:"session_id"`
+	ProgramID string `json:"program_id"`
+	Bytes     int64  `json:"bytes"`
+	Chunks    int64  `json:"chunks"`
+	Matches   int64  `json:"matches"`
+}
+
+func (s *session) summary() SessionSummary {
+	return SessionSummary{
+		SessionID: s.id,
+		ProgramID: s.prog.ID,
+		Bytes:     s.bytes.Value(),
+		Chunks:    s.chunks.Value(),
+		Matches:   s.matches.Value(),
+	}
+}

@@ -7,7 +7,9 @@
 //	rapbench -exp fig12 -scale 0.5 -input 50000
 //
 // Experiments: fig1, fig10a, fig10b, table2, table3, fig11, fig12, fig13,
-// table4, all.
+// table4, ablation, characterize, flows, reconfig, all. The reconfig
+// experiment is beyond-paper: it prices live ruleset updates (delta
+// bitstream + tile quiesce/reload) against full redeployment.
 package main
 
 import (

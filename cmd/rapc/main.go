@@ -5,6 +5,13 @@
 //
 //	rapc 'ab{10,48}c' 'abcdef' 'a(b|c)*d'
 //	rapc -f rules.txt -depth 16 -bin 8 -v
+//
+// With -diff it instead compares two deployment images written by
+// -bitstream and reports the delta bitstream a live reconfiguration
+// would ship, next to the full-image redeploy cost:
+//
+//	rapc -bitstream old.img 'cat' && rapc -bitstream new.img 'dog'
+//	rapc -diff old.img new.img
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mnrl"
 	"repro/internal/patfile"
+	"repro/internal/reconfig"
 	"repro/internal/regexast"
 	"repro/internal/sim"
 )
@@ -33,7 +41,19 @@ func main() {
 	mnrlOut := flag.String("mnrl", "", "export the basic-NFA forms as an MNRL file")
 	floorplan := flag.Bool("floorplan", false, "print the ASCII tile floor plan of the placement")
 	bitstreamOut := flag.String("bitstream", "", "write the deployment configuration image to a file")
+	diff := flag.Bool("diff", false, "diff two image files (old.img new.img) into a reconfiguration delta")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: rapc -diff old.img new.img")
+			os.Exit(2)
+		}
+		if err := diffImages(flag.Arg(0), flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	patterns := flag.Args()
 	if *file != "" {
@@ -116,6 +136,66 @@ func main() {
 	shares := res.ModeShares()
 	fmt.Printf("Mode shares: NFA %.0f%%, NBVA %.0f%%, LNFA %.0f%%\n",
 		100*shares[compile.ModeNFA], 100*shares[compile.ModeNBVA], 100*shares[compile.ModeLNFA])
+}
+
+// diffImages loads two deployment images, computes the reconfiguration
+// delta between them and prints its records, serialized size and modeled
+// reload cost next to a full-image redeploy of the target.
+func diffImages(oldPath, newPath string) error {
+	oldImg, err := loadImage(oldPath)
+	if err != nil {
+		return err
+	}
+	newImg, err := loadImage(newPath)
+	if err != nil {
+		return err
+	}
+	d := reconfig.Diff(oldImg, newImg)
+	data, err := d.MarshalBinary()
+	if err != nil {
+		return err
+	}
+
+	t := &metrics.Table{
+		Name:   "Delta records",
+		Header: []string{"Record", "Count"},
+	}
+	t.AddRow("array replace", len(d.Replaces))
+	t.AddRow("array header", len(d.Headers))
+	t.AddRow("tile meta", len(d.TileMetas))
+	t.AddRow("CAM column", len(d.Codes))
+	t.AddRow("local switch row", len(d.LocalRows))
+	t.AddRow("global switch row", len(d.GlobalRows))
+	t.AddRow("total", d.Records())
+	fmt.Println(t.String())
+
+	inc := reconfig.CostOf(d)
+	full := reconfig.FullCost(newImg)
+	touched := len(d.TouchedArrays())
+	fmt.Printf("Arrays: %d touched of %d in target\n", touched, len(newImg.Arrays))
+	fmt.Printf("Bitstream: delta %d bytes vs full image %d bytes (%s smaller)\n",
+		len(data), newImg.SizeBytes(), metrics.Ratio(float64(newImg.SizeBytes()), float64(len(data))))
+	fmt.Printf("Reload:    delta %d cycles, %.1f pJ, %.3f µs\n",
+		inc.ReloadCycles, inc.EnergyPJ, inc.LatencyUS())
+	fmt.Printf("Full:      %d cycles, %.1f pJ, %.3f µs\n",
+		full.ReloadCycles, full.EnergyPJ, full.LatencyUS())
+	if plan, err := reconfig.Schedule(d, newImg); err == nil {
+		fmt.Printf("Schedule:  %d arrays stall for %d cycles (%.3f µs); %d arrays keep matching\n",
+			touched, plan.StallCycles, plan.LatencyUS(), plan.UntouchedArrays)
+	}
+	return nil
+}
+
+func loadImage(path string) (*bitstream.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	img, err := bitstream.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return img, nil
 }
 
 // dfaCell estimates the DFA size of one pattern (capped), the §2.1

@@ -7,6 +7,8 @@
 //
 //	# compile (or cache-hit) a ruleset
 //	curl -s localhost:8844/programs -d '{"patterns":["cat","ab{10,48}c"]}'
+//	# live ruleset hot-swap: same ID, open sessions stay on the old rules
+//	curl -s -X PUT localhost:8844/programs/$ID -d '{"patterns":["dog"]}'
 //	# one-shot scan
 //	curl -s localhost:8844/programs/$ID/scan --data-binary @input.bin
 //	# streaming session
@@ -84,6 +86,17 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fatal(err)
 		}
+		// The listener is stopped; flush every open streaming session so
+		// end-anchored matches are emitted rather than silently dropped.
+		drained := svc.DrainSessions()
+		finals := 0
+		for _, d := range drained {
+			finals += len(d.FinalMatches)
+			fmt.Printf("rapserve: drained %s (program %s, %d bytes, %d matches, %d at end)\n",
+				d.Summary.SessionID, d.Summary.ProgramID, d.Summary.Bytes,
+				d.Summary.Matches, len(d.FinalMatches))
+		}
+		fmt.Printf("rapserve: drained %d sessions, %d end-anchored matches\n", len(drained), finals)
 	}
 }
 

@@ -1,0 +1,69 @@
+package bitstream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/mapper"
+)
+
+// fuzzSeedImages builds marshalled images from real pattern sets, so the
+// fuzzer starts from structurally valid inputs and mutates inward.
+func fuzzSeedImages(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	for _, patterns := range [][]string{
+		{"cat"},
+		{"cat", "dog{3,9}x", "a(b|c)*d"},
+		{"ab{10,48}c", "x[a-f]{4}y", "(foo|bar)baz"},
+	} {
+		res := compile.Compile(patterns, compile.Options{})
+		if len(res.Errors) != 0 {
+			f.Fatal(res.Errors[0])
+		}
+		p, err := mapper.Map(res, mapper.Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		img, err := Build(res, p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := img.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, data)
+	}
+	return seeds
+}
+
+// FuzzParse asserts Parse never panics or over-allocates on arbitrary
+// bytes — the image file is an external input (rapc -bitstream output,
+// rapc -diff operands), so a corrupt or hostile file must fail cleanly.
+func FuzzParse(f *testing.F) {
+	for _, data := range fuzzSeedImages(f) {
+		f.Add(data)
+		// Corrupted variants: truncation and a header bit flip.
+		f.Add(data[:len(data)/2])
+		flipped := append([]byte(nil), data...)
+		flipped[8] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A successfully parsed image must survive the round trip.
+		out, err := img.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of parsed image: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip diverged: %d in, %d out", len(data), len(out))
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/mapper"
+	"repro/internal/metrics"
+	"repro/internal/reconfig"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Reconfig measures live reconfiguration against full redeployment: a
+// deployed ruleset has a fraction of its rules replaced (churn), and the
+// delta bitstream shipped by internal/reconfig is compared to reloading
+// the whole target image — serialized bytes, reload cycles through the
+// §3.3 configuration path, and the throughput of a stream that hot-swaps
+// mid-flight (the scheduler stalls only the touched arrays' banks,
+// whereas a full redeploy rewrites every array).
+//
+// The acceptance shape: for small churn the incremental path is orders
+// of magnitude below a redeploy, converging toward it as churn grows.
+func Reconfig(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	t := &metrics.Table{
+		Name: "Live reconfiguration: incremental delta vs full redeploy",
+		Header: []string{"Dataset", "Churn", "Delta B", "Full B", "Full/Delta",
+			"Reload cyc", "Full cyc", "Stall µs", "Idle arrays", "Swap Gch/s", "Redeploy Gch/s"},
+	}
+	for _, name := range []string{"Snort", "ClamAV"} {
+		d, input, err := cfg.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		// A disjoint generation of the same dataset supplies replacement
+		// rules, so churned patterns are realistic for the workload.
+		alt, err := workload.Generate(name, cfg.Scale, cfg.Seed+999)
+		if err != nil {
+			return nil, err
+		}
+		resOld, pOld, imgOld, err := deployImage(d.Patterns)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		for _, ch := range churnLevels(len(d.Patterns)) {
+			newPats := append([]string(nil), d.Patterns...)
+			for i := 0; i < ch.rules && i < len(alt.Patterns); i++ {
+				newPats[i] = alt.Patterns[i]
+			}
+			resNew, pNew, imgNew, err := deployImage(newPats)
+			if err != nil {
+				return nil, fmt.Errorf("%s churn %s: %w", name, ch.label, err)
+			}
+			delta := reconfig.Diff(imgOld, imgNew)
+			data, err := delta.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			inc := reconfig.CostOf(delta)
+			full := reconfig.FullCost(imgNew)
+			plan, err := reconfig.Schedule(delta, imgNew)
+			if err != nil {
+				return nil, err
+			}
+			// Hot-swap mid-stream: incremental stalls for the scheduler's
+			// window, a redeploy stalls for the full-image reload.
+			swap, err := sim.SimulateRAPReconfig(resOld, pOld, resNew, pNew, input,
+				sim.ReconfigEvent{At: len(input) / 2, StallCycles: plan.StallCycles, EnergyPJ: plan.EnergyPJ})
+			if err != nil {
+				return nil, err
+			}
+			redeploy, err := sim.SimulateRAPReconfig(resOld, pOld, resNew, pNew, input,
+				sim.ReconfigEvent{At: len(input) / 2, StallCycles: full.ReloadCycles, EnergyPJ: full.EnergyPJ})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, ch.label, len(data), imgNew.SizeBytes(),
+				metrics.Ratio(float64(imgNew.SizeBytes()), float64(len(data))),
+				inc.ReloadCycles, full.ReloadCycles, plan.LatencyUS(),
+				fmt.Sprintf("%d/%d", plan.UntouchedArrays, len(imgNew.Arrays)),
+				swap.ThroughputGchS(), redeploy.ThroughputGchS())
+		}
+	}
+	if err := cfg.saveTable(t, "reconfig.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// deployImage runs the deployment pipeline for one pattern set.
+func deployImage(patterns []string) (*compile.Result, *arch.Placement, *bitstream.Image, error) {
+	res := compile.Compile(patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		return nil, nil, nil, res.Errors[0]
+	}
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	img, err := bitstream.Build(res, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, p, img, nil
+}
+
+type churnLevel struct {
+	label string
+	rules int
+}
+
+// churnLevels returns the churn ladder for an n-rule set: a single rule,
+// then 5%, 20% and 50%, deduplicated for small sets.
+func churnLevels(n int) []churnLevel {
+	levels := []churnLevel{{"1 rule", 1}}
+	for _, pct := range []int{5, 20, 50} {
+		rules := n * pct / 100
+		if rules <= levels[len(levels)-1].rules {
+			continue
+		}
+		levels = append(levels, churnLevel{fmt.Sprintf("%d%%", pct), rules})
+	}
+	return levels
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestReconfig(t *testing.T) {
+	tb, err := Reconfig(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	cell := func(r []string, i int) float64 {
+		v, err := strconv.ParseFloat(r[i], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", r[i])
+		}
+		return v
+	}
+	for _, r := range tb.Rows {
+		deltaB, fullB := cell(r, 2), cell(r, 3)
+		reload, fullCyc := cell(r, 5), cell(r, 6)
+		if r[1] == "1 rule" {
+			// The acceptance shape: single-rule churn must be strictly
+			// cheaper than a full redeploy on every axis.
+			if deltaB >= fullB {
+				t.Errorf("%s 1-rule delta %v B not below full image %v B", r[0], deltaB, fullB)
+			}
+			if reload >= fullCyc {
+				t.Errorf("%s 1-rule reload %v cyc not below full %v", r[0], reload, fullCyc)
+			}
+			swap, redeploy := cell(r, 9), cell(r, 10)
+			if swap < redeploy {
+				t.Errorf("%s 1-rule hot-swap throughput %v below redeploy %v", r[0], swap, redeploy)
+			}
+		}
+		if reload > fullCyc {
+			t.Errorf("%s %s incremental reload %v exceeds full %v", r[0], r[1], reload, fullCyc)
+		}
+	}
+}

@@ -7,7 +7,7 @@ import (
 )
 
 // Experiment names accepted by Run.
-var Names = []string{"fig1", "fig10a", "fig10b", "table2", "table3", "fig11", "fig12", "fig13", "table4", "ablation", "characterize", "flows"}
+var Names = []string{"fig1", "fig10a", "fig10b", "table2", "table3", "fig11", "fig12", "fig13", "table4", "ablation", "characterize", "flows", "reconfig"}
 
 // Run dispatches one experiment by name.
 func Run(name string, cfg Config) (*metrics.Table, error) {
@@ -36,6 +36,8 @@ func Run(name string, cfg Config) (*metrics.Table, error) {
 		return Characterize(cfg)
 	case "flows":
 		return Flows(cfg)
+	case "reconfig":
+		return Reconfig(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
 	}

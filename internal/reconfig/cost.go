@@ -1,0 +1,145 @@
+package reconfig
+
+import (
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+	"repro/internal/hwmodel"
+)
+
+// ConfigBusBits is the width of the configuration path into a bank: one
+// Bank Input Buffer entry per cycle, matching the 128-bit tile row width
+// the §3.3 I/O hierarchy moves per cycle.
+const ConfigBusBits = 128
+
+// pingPongFlipCycles is the handoff cost when the bank input buffer
+// flips halves: the array input FIFOs must drain before the next half
+// streams (§3.3's two-level ping-pong buffering, reused as the config
+// load path during deployment).
+const pingPongFlipCycles = 2
+
+// Cost prices one reconfiguration: how many hardware write operations it
+// performs, how many configuration bits cross the bank I/O path, and what
+// that costs in cycles, energy and wall-clock time at the RAP clock.
+type Cost struct {
+	CodeWrites      int // 32-bit CAM column writes
+	TileMetaWrites  int // tile mode/flag/BV-table rewrites
+	LocalRowWrites  int // 128-bit local-switch row writes
+	GlobalRowWrites int // 256-bit global-switch row writes
+	ArraysTouched   int
+	TilesTouched    int
+
+	ConfigBits   int64 // total configuration payload pushed through the bus
+	ReloadCycles int64 // cycles to stream + write the payload
+	EnergyPJ     float64
+}
+
+// LatencyUS returns the reload latency in microseconds at the RAP clock.
+func (c Cost) LatencyUS() float64 {
+	return float64(c.ReloadCycles) / (hwmodel.ClockRAPGHz * 1e3)
+}
+
+// tileMetaBits is the payload of one tile-metadata rewrite: mode+flags
+// plus the BV table entries (6 bytes each on the wire).
+func tileMetaBits(nBVs int) int64 { return 8 * int64(2+6*nBVs) }
+
+// CostOf prices a delta. Write counts come straight from the record
+// list; streaming cycles model the §3.3 path — the payload enters through
+// the 128-bit bank bus into the ping-pong Bank Input Buffer, with a flip
+// penalty every BankInputBufferEntries words — and energy charges each
+// write to the circuit it programs (Table 1 models): CAM column writes to
+// the CAM, switch row writes to the 128×128 / 256×256 SRAM FCBs, plus
+// controller activations per touched tile/array and wire energy per word.
+func CostOf(d *Delta) Cost {
+	var c Cost
+	tiles := map[[2]int]bool{}
+	arrays := map[int]bool{}
+	touchTile := func(ai, ti int) {
+		arrays[ai] = true
+		tiles[[2]int{ai, ti}] = true
+	}
+
+	for _, r := range d.Replaces {
+		arrays[r.Array] = true
+		for ti := range r.Config.Tiles {
+			t := &r.Config.Tiles[ti]
+			touchTile(r.Array, ti)
+			c.CodeWrites += arch.TileSTEs
+			c.LocalRowWrites += arch.TileSTEs
+			c.TileMetaWrites++
+			c.ConfigBits += int64(arch.TileSTEs)*arch.CAMRows +
+				int64(arch.TileSTEs)*arch.TileSTEs + tileMetaBits(len(t.BVs))
+		}
+		c.GlobalRowWrites += 256
+		c.ConfigBits += 256 * 256
+	}
+	for _, h := range d.Headers {
+		arrays[h.Array] = true
+		c.ConfigBits += 16
+	}
+	for _, m := range d.TileMetas {
+		touchTile(m.Array, m.Tile)
+		c.TileMetaWrites++
+		c.ConfigBits += tileMetaBits(len(m.BVs))
+	}
+	for _, code := range d.Codes {
+		touchTile(code.Array, code.Tile)
+		c.CodeWrites++
+		c.ConfigBits += arch.CAMRows + 16 // 32-bit code + column address/role
+	}
+	for _, r := range d.LocalRows {
+		touchTile(r.Array, r.Tile)
+		c.LocalRowWrites++
+		c.ConfigBits += arch.TileSTEs + 16
+	}
+	for _, r := range d.GlobalRows {
+		arrays[r.Array] = true
+		c.GlobalRowWrites++
+		c.ConfigBits += 256 + 16
+	}
+	c.ArraysTouched = len(arrays)
+	c.TilesTouched = len(tiles)
+	c.finish()
+	return c
+}
+
+// finish derives streaming cycles and energy from the write counts: the
+// payload streams through the 128-bit bank bus into the ping-pong Bank
+// Input Buffer (flip penalty every BankInputBufferEntries words), and
+// every write charges the circuit it programs plus controller and wire
+// activity.
+func (c *Cost) finish() {
+	words := (c.ConfigBits + ConfigBusBits - 1) / ConfigBusBits
+	flips := (words + arch.BankInputBufferEntries - 1) / arch.BankInputBufferEntries
+	c.ReloadCycles = words + flips*pingPongFlipCycles
+	c.EnergyPJ = float64(c.CodeWrites)*hwmodel.CAM.AccessEnergyPJ(1) +
+		float64(c.LocalRowWrites)*hwmodel.SRAM128.AccessEnergyPJ(1) +
+		float64(c.GlobalRowWrites)*hwmodel.SRAM256.AccessEnergyPJ(1) +
+		float64(c.TilesTouched)*hwmodel.LocalController.AccessEnergyPJ(1) +
+		float64(c.ArraysTouched)*hwmodel.GlobalController.AccessEnergyPJ(1) +
+		float64(words)*hwmodel.GlobalWireMMPerHop*hwmodel.GlobalWire.AccessEnergyPJ(1)
+}
+
+// FullCost prices a full-image redeploy of img: every CAM column, every
+// switch row and every tile header of every provisioned array is written,
+// regardless of content — the §3.3 one-shot deployment path the delta is
+// compared against.
+func FullCost(img *bitstream.Image) Cost {
+	var c Cost
+	c.ArraysTouched = len(img.Arrays)
+	for ai := range img.Arrays {
+		a := &img.Arrays[ai]
+		c.TilesTouched += len(a.Tiles)
+		for ti := range a.Tiles {
+			t := &a.Tiles[ti]
+			c.CodeWrites += arch.TileSTEs
+			c.LocalRowWrites += arch.TileSTEs
+			c.TileMetaWrites++
+			c.ConfigBits += int64(arch.TileSTEs)*arch.CAMRows +
+				int64(arch.TileSTEs)*arch.TileSTEs + tileMetaBits(len(t.BVs))
+		}
+		c.GlobalRowWrites += 256
+		c.ConfigBits += 256*256 + 16
+	}
+	c.finish()
+	return c
+}

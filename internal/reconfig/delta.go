@@ -1,0 +1,317 @@
+// Package reconfig models live reconfiguration of a deployed RAP fabric:
+// turning a ruleset update into the minimal set of configuration writes,
+// costing those writes through the §3.3 I/O path, and scheduling the
+// per-array quiesce-drain-reload so untouched arrays keep matching.
+//
+// The paper deploys a full image once ("the hardware configuration is
+// pre-loaded to RAP during deployment", §3.3) — but a production fabric
+// serving rotating rulesets pays a real configuration cost per update
+// (CAMA's CAM rewrite path). This package makes that cost a first-class,
+// measurable quantity: Diff produces a delta bitstream of per-tile /
+// per-array update records, Apply replays it bit-exactly, CostOf prices
+// it against hwmodel constants, and Schedule plans the reload window.
+package reconfig
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+)
+
+// localRowBytes is the byte width of one 128-bit local-switch row.
+const localRowBytes = arch.TileSTEs / 8
+
+// globalRowBytes is the byte width of one 256-bit global-switch row.
+const globalRowBytes = 256 / 8
+
+// ArrayReplace carries a whole new array configuration; emitted when an
+// array is structurally new (added, or its tile count changed) and a
+// record-level diff cannot express the change.
+type ArrayReplace struct {
+	Array  int
+	Config bitstream.ArrayConfig
+}
+
+// HeaderUpdate rewrites an array's mode/depth header.
+type HeaderUpdate struct {
+	Array int
+	Mode  arch.Mode
+	Depth uint8
+}
+
+// TileMetaUpdate rewrites one tile's mode, flags and BV metadata table.
+// BV metadata is replaced wholesale: it is a handful of bytes per tile,
+// and partial BV-table rewrites are not a hardware operation.
+type TileMetaUpdate struct {
+	Array, Tile int
+	Mode        arch.Mode
+	HasInitial  bool
+	BVs         []bitstream.BVConfig
+}
+
+// CodeUpdate rewrites one CAM column: its role and its 32-bit code. This
+// is the unit CAMA-style hardware updates in — one column write of
+// arch.CAMRows bits.
+type CodeUpdate struct {
+	Array, Tile int
+	Col         uint8
+	Role        byte
+	Code        uint32
+}
+
+// LocalRowUpdate rewrites one 128-bit row of a tile's local switch.
+type LocalRowUpdate struct {
+	Array, Tile int
+	Row         uint8
+	Bits        [localRowBytes]byte
+}
+
+// GlobalRowUpdate rewrites one 256-bit row of an array's global switch.
+type GlobalRowUpdate struct {
+	Array int
+	Row   uint8
+	Bits  [globalRowBytes]byte
+}
+
+// Delta is the difference between two deployment images, expressed as
+// hardware-granularity update records. Applying it to the base image
+// reproduces the target image bit-exactly; BaseCRC/TargetCRC pin both
+// endpoints so a delta can never be applied to the wrong fabric state.
+type Delta struct {
+	BaseCRC   uint32 // CRC-32 of the marshalled base image
+	TargetCRC uint32 // CRC-32 of the marshalled target image
+	NumArrays int    // array count of the target image
+
+	Replaces   []ArrayReplace
+	Headers    []HeaderUpdate
+	TileMetas  []TileMetaUpdate
+	Codes      []CodeUpdate
+	LocalRows  []LocalRowUpdate
+	GlobalRows []GlobalRowUpdate
+}
+
+// imageCRC is the delta's notion of image identity: the CRC-32 the
+// serialized form carries in its trailer. (Checksumming the whole
+// marshalled blob would be useless — CRC-32 of a message with its own
+// CRC appended is the constant residue 0x2144DF1C for every image.)
+func imageCRC(img *bitstream.Image) uint32 {
+	data, _ := img.MarshalBinary()
+	if len(data) < 4 {
+		return 0
+	}
+	return crc32.ChecksumIEEE(data[:len(data)-4])
+}
+
+// Diff computes the update records turning old into new. Arrays present
+// in both images with identical tile counts diff at record granularity;
+// structurally changed or added arrays become full ArrayReplace records;
+// arrays dropped from the target are expressed by NumArrays alone (the
+// freed arrays are simply unprogrammed).
+func Diff(old, new *bitstream.Image) *Delta {
+	d := &Delta{
+		BaseCRC:   imageCRC(old),
+		TargetCRC: imageCRC(new),
+		NumArrays: len(new.Arrays),
+	}
+	for ai := range new.Arrays {
+		na := &new.Arrays[ai]
+		if ai >= len(old.Arrays) || len(old.Arrays[ai].Tiles) != len(na.Tiles) {
+			d.Replaces = append(d.Replaces, ArrayReplace{Array: ai, Config: cloneArray(na)})
+			continue
+		}
+		oa := &old.Arrays[ai]
+		if oa.Mode != na.Mode || oa.Depth != na.Depth {
+			d.Headers = append(d.Headers, HeaderUpdate{Array: ai, Mode: na.Mode, Depth: na.Depth})
+		}
+		for ti := range na.Tiles {
+			diffTile(d, ai, ti, &oa.Tiles[ti], &na.Tiles[ti])
+		}
+		for row := 0; row < 256; row++ {
+			o := oa.GlobalSwitch[row*globalRowBytes : (row+1)*globalRowBytes]
+			n := na.GlobalSwitch[row*globalRowBytes : (row+1)*globalRowBytes]
+			if !bytes.Equal(o, n) {
+				u := GlobalRowUpdate{Array: ai, Row: uint8(row)}
+				copy(u.Bits[:], n)
+				d.GlobalRows = append(d.GlobalRows, u)
+			}
+		}
+	}
+	return d
+}
+
+func diffTile(d *Delta, ai, ti int, ot, nt *bitstream.TileConfig) {
+	if ot.Mode != nt.Mode || ot.HasInitial != nt.HasInitial || !bvsEqual(ot.BVs, nt.BVs) {
+		d.TileMetas = append(d.TileMetas, TileMetaUpdate{
+			Array: ai, Tile: ti,
+			Mode:       nt.Mode,
+			HasInitial: nt.HasInitial,
+			BVs:        append([]bitstream.BVConfig(nil), nt.BVs...),
+		})
+	}
+	for col := 0; col < arch.TileSTEs; col++ {
+		if ot.ColRole[col] != nt.ColRole[col] || ot.CAMCodes[col] != nt.CAMCodes[col] {
+			d.Codes = append(d.Codes, CodeUpdate{
+				Array: ai, Tile: ti, Col: uint8(col),
+				Role: nt.ColRole[col], Code: nt.CAMCodes[col],
+			})
+		}
+	}
+	for row := 0; row < arch.TileSTEs; row++ {
+		o := ot.LocalSwitch[row*localRowBytes : (row+1)*localRowBytes]
+		n := nt.LocalSwitch[row*localRowBytes : (row+1)*localRowBytes]
+		if !bytes.Equal(o, n) {
+			u := LocalRowUpdate{Array: ai, Tile: ti, Row: uint8(row)}
+			copy(u.Bits[:], n)
+			d.LocalRows = append(d.LocalRows, u)
+		}
+	}
+}
+
+func bvsEqual(a, b []bitstream.BVConfig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneArray(a *bitstream.ArrayConfig) bitstream.ArrayConfig {
+	out := *a
+	out.Tiles = make([]bitstream.TileConfig, len(a.Tiles))
+	for i := range a.Tiles {
+		out.Tiles[i] = a.Tiles[i]
+		out.Tiles[i].BVs = append([]bitstream.BVConfig(nil), a.Tiles[i].BVs...)
+	}
+	return out
+}
+
+// Apply replays a delta onto a base image and returns the target image.
+// It refuses to run against the wrong base (BaseCRC mismatch) and
+// verifies the result against TargetCRC, so a successful Apply guarantees
+// bit-exact reconstruction.
+func Apply(old *bitstream.Image, d *Delta) (*bitstream.Image, error) {
+	if got := imageCRC(old); got != d.BaseCRC {
+		return nil, fmt.Errorf("reconfig: base image CRC %08x does not match delta base %08x", got, d.BaseCRC)
+	}
+	img := &bitstream.Image{Arrays: make([]bitstream.ArrayConfig, d.NumArrays)}
+	replaced := make([]bool, d.NumArrays)
+	for i := 0; i < d.NumArrays && i < len(old.Arrays); i++ {
+		img.Arrays[i] = cloneArray(&old.Arrays[i])
+	}
+	for _, r := range d.Replaces {
+		if r.Array < 0 || r.Array >= d.NumArrays {
+			return nil, fmt.Errorf("reconfig: replace targets array %d of %d", r.Array, d.NumArrays)
+		}
+		img.Arrays[r.Array] = cloneArray(&r.Config)
+		replaced[r.Array] = true
+	}
+	for i := len(old.Arrays); i < d.NumArrays; i++ {
+		if !replaced[i] {
+			return nil, fmt.Errorf("reconfig: delta grows to %d arrays but lacks a payload for array %d", d.NumArrays, i)
+		}
+	}
+	for _, h := range d.Headers {
+		a, err := applyArray(img, h.Array)
+		if err != nil {
+			return nil, err
+		}
+		a.Mode, a.Depth = h.Mode, h.Depth
+	}
+	for _, m := range d.TileMetas {
+		t, err := applyTile(img, m.Array, m.Tile)
+		if err != nil {
+			return nil, err
+		}
+		t.Mode, t.HasInitial = m.Mode, m.HasInitial
+		t.BVs = append([]bitstream.BVConfig(nil), m.BVs...)
+	}
+	for _, c := range d.Codes {
+		t, err := applyTile(img, c.Array, c.Tile)
+		if err != nil {
+			return nil, err
+		}
+		t.ColRole[c.Col] = c.Role
+		t.CAMCodes[c.Col] = c.Code
+	}
+	for _, r := range d.LocalRows {
+		t, err := applyTile(img, r.Array, r.Tile)
+		if err != nil {
+			return nil, err
+		}
+		copy(t.LocalSwitch[int(r.Row)*localRowBytes:], r.Bits[:])
+	}
+	for _, r := range d.GlobalRows {
+		a, err := applyArray(img, r.Array)
+		if err != nil {
+			return nil, err
+		}
+		copy(a.GlobalSwitch[int(r.Row)*globalRowBytes:], r.Bits[:])
+	}
+	if got := imageCRC(img); got != d.TargetCRC {
+		return nil, fmt.Errorf("reconfig: applied image CRC %08x does not match delta target %08x", got, d.TargetCRC)
+	}
+	return img, nil
+}
+
+func applyArray(img *bitstream.Image, ai int) (*bitstream.ArrayConfig, error) {
+	if ai < 0 || ai >= len(img.Arrays) {
+		return nil, fmt.Errorf("reconfig: record targets array %d of %d", ai, len(img.Arrays))
+	}
+	return &img.Arrays[ai], nil
+}
+
+func applyTile(img *bitstream.Image, ai, ti int) (*bitstream.TileConfig, error) {
+	a, err := applyArray(img, ai)
+	if err != nil {
+		return nil, err
+	}
+	if ti < 0 || ti >= len(a.Tiles) {
+		return nil, fmt.Errorf("reconfig: record targets tile %d of %d in array %d", ti, len(a.Tiles), ai)
+	}
+	return &a.Tiles[ti], nil
+}
+
+// Records returns the total number of update records in the delta.
+func (d *Delta) Records() int {
+	return len(d.Replaces) + len(d.Headers) + len(d.TileMetas) +
+		len(d.Codes) + len(d.LocalRows) + len(d.GlobalRows)
+}
+
+// TouchedArrays returns the indices of arrays the delta writes to, in
+// ascending order. Arrays outside this set keep matching during the
+// reconfiguration (the scheduler's no-stall set).
+func (d *Delta) TouchedArrays() []int {
+	seen := map[int]bool{}
+	for _, r := range d.Replaces {
+		seen[r.Array] = true
+	}
+	for _, h := range d.Headers {
+		seen[h.Array] = true
+	}
+	for _, m := range d.TileMetas {
+		seen[m.Array] = true
+	}
+	for _, c := range d.Codes {
+		seen[c.Array] = true
+	}
+	for _, r := range d.LocalRows {
+		seen[r.Array] = true
+	}
+	for _, r := range d.GlobalRows {
+		seen[r.Array] = true
+	}
+	out := make([]int, 0, len(seen))
+	for i := 0; i < d.NumArrays; i++ {
+		if seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package reconfig
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+	"repro/internal/hwmodel"
+)
+
+// quiesceFlushCycles is the fixed pipeline-drain cost of taking one array
+// out of the match path: the input FIFO empties and the last symbol's
+// CAM-search/transition completes (mirrors the 2-cycle active-vector swap
+// of the flows context-switch model).
+const quiesceFlushCycles = 2
+
+// ArrayStep is one array's slot in the reconfiguration window.
+type ArrayStep struct {
+	Array int
+	Bank  int
+	// QuiesceCycles drains the array: pipeline flush plus, for NBVA-mode
+	// arrays, an in-flight bit-vector-processing phase of Depth cycles.
+	QuiesceCycles int64
+	// ReloadCycles streams this array's share of the delta through the
+	// bank config bus.
+	ReloadCycles int64
+	// StartCycle/EndCycle place the reload inside the window. Arrays of
+	// one bank serialize on the bank bus; quiescing overlaps.
+	StartCycle, EndCycle int64
+}
+
+// Plan schedules a delta onto a deployed fabric: which arrays quiesce,
+// when each reloads, and how long the chip-level stall window is.
+// Untouched arrays keep matching throughout — only touched banks pause
+// their input broadcast while their arrays reload.
+type Plan struct {
+	Steps []ArrayStep
+	// StallCycles is the chip-level stall: the longest per-bank window
+	// (quiesce + serialized reloads). Zero when the delta is empty.
+	StallCycles int64
+	// UntouchedArrays keep matching during the swap.
+	UntouchedArrays int
+	// EnergyPJ is the configuration-write energy (CostOf's model).
+	EnergyPJ float64
+}
+
+// Schedule plans the quiesce-drain-reload of d against the target image
+// (the image the fabric runs after the swap; its array modes/depths
+// decide quiesce costs). Per array, reload cycles are that array's share
+// of the delta payload; arrays in the same bank serialize their reloads
+// on the bank's config bus while arrays in different banks reload in
+// parallel.
+func Schedule(d *Delta, target *bitstream.Image) (*Plan, error) {
+	touched := d.TouchedArrays()
+	for _, ai := range touched {
+		if ai >= len(target.Arrays) {
+			return nil, fmt.Errorf("reconfig: delta touches array %d but target has %d", ai, len(target.Arrays))
+		}
+	}
+	perArray := arrayBits(d)
+	plan := &Plan{EnergyPJ: CostOf(d).EnergyPJ}
+	plan.UntouchedArrays = len(target.Arrays) - len(touched)
+
+	// Build steps bank by bank: quiesce in parallel at window start, then
+	// serialize reloads on the bank bus.
+	byBank := map[int][]int{}
+	for _, ai := range touched {
+		bank := ai / arch.ArraysPerBank
+		byBank[bank] = append(byBank[bank], ai)
+	}
+	banks := make([]int, 0, len(byBank))
+	for b := range byBank {
+		banks = append(banks, b)
+	}
+	sort.Ints(banks)
+	for _, bank := range banks {
+		var cursor int64
+		var maxQuiesce int64
+		for _, ai := range byBank[bank] {
+			q := int64(quiesceFlushCycles)
+			a := &target.Arrays[ai]
+			if a.Mode == arch.ModeNBVA {
+				// An in-flight bit-vector-processing phase must complete
+				// before the CAM contents can be rewritten.
+				q += int64(a.Depth)
+			}
+			if q > maxQuiesce {
+				maxQuiesce = q
+			}
+			bits := perArray[ai]
+			words := (bits + ConfigBusBits - 1) / ConfigBusBits
+			flips := (words + arch.BankInputBufferEntries - 1) / arch.BankInputBufferEntries
+			reload := words + flips*pingPongFlipCycles
+			plan.Steps = append(plan.Steps, ArrayStep{
+				Array: ai, Bank: bank,
+				QuiesceCycles: q,
+				ReloadCycles:  reload,
+			})
+			cursor += reload
+		}
+		// Place the bank's steps: reloads start after the slowest quiesce
+		// of the bank and run back to back.
+		start := maxQuiesce
+		for i := range plan.Steps {
+			st := &plan.Steps[i]
+			if st.Bank != bank || st.EndCycle != 0 {
+				continue
+			}
+			st.StartCycle = start
+			st.EndCycle = start + st.ReloadCycles
+			start = st.EndCycle
+		}
+		if start > plan.StallCycles {
+			plan.StallCycles = start
+		}
+	}
+	return plan, nil
+}
+
+// arrayBits attributes the delta payload to arrays (same per-record bit
+// accounting as CostOf).
+func arrayBits(d *Delta) map[int]int64 {
+	bits := map[int]int64{}
+	for _, r := range d.Replaces {
+		var b int64
+		for ti := range r.Config.Tiles {
+			b += int64(arch.TileSTEs)*arch.CAMRows +
+				int64(arch.TileSTEs)*arch.TileSTEs + tileMetaBits(len(r.Config.Tiles[ti].BVs))
+		}
+		bits[r.Array] += b + 256*256
+	}
+	for _, h := range d.Headers {
+		bits[h.Array] += 16
+	}
+	for _, m := range d.TileMetas {
+		bits[m.Array] += tileMetaBits(len(m.BVs))
+	}
+	for _, c := range d.Codes {
+		bits[c.Array] += arch.CAMRows + 16
+	}
+	for _, r := range d.LocalRows {
+		bits[r.Array] += arch.TileSTEs + 16
+	}
+	for _, r := range d.GlobalRows {
+		bits[r.Array] += 256 + 16
+	}
+	return bits
+}
+
+// LatencyUS returns the stall window in microseconds at the RAP clock.
+func (p *Plan) LatencyUS() float64 {
+	return float64(p.StallCycles) / (hwmodel.ClockRAPGHz * 1e3)
+}

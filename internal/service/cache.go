@@ -77,6 +77,22 @@ func (c *programCache) getOrCompile(key string, build func() (*Program, error)) 
 	return f.prog, false, f.err
 }
 
+// replace atomically swaps the program stored under key for next,
+// keeping its recency slot (the hot-swap path of Service.Update). A
+// missing key inserts instead — the program may have been evicted
+// between the caller's lookup and the swap, and the update must still
+// land so new lookups see the new ruleset.
+func (c *programCache) replace(key string, next *Program) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value = next
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.insertLocked(key, next)
+}
+
 // get returns the program by key/ID, refreshing its recency.
 func (c *programCache) get(key string) (*Program, bool) {
 	c.mu.Lock()

@@ -16,6 +16,7 @@ const maxBodyBytes = 32 << 20
 // Handler returns the HTTP surface of the service:
 //
 //	POST   /programs            {"patterns":[...], "options":{...}} → compile or cache-hit
+//	PUT    /programs/{id}       {"patterns":[...], "options":{...}} → live ruleset hot-swap
 //	POST   /programs/{id}/scan  raw bytes → one-shot matches
 //	POST   /sessions            {"program_id":...} → open streaming session
 //	POST   /sessions/{id}/data  raw bytes → matches in this chunk
@@ -25,6 +26,7 @@ const maxBodyBytes = 32 << 20
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /programs", s.handleCompile)
+	mux.HandleFunc("PUT /programs/{id}", s.handleUpdate)
 	mux.HandleFunc("POST /programs/{id}/scan", s.handleScan)
 	mux.HandleFunc("POST /sessions", s.handleOpenSession)
 	mux.HandleFunc("POST /sessions/{id}/data", s.handleFeed)
@@ -101,6 +103,24 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		NumPatterns: prog.Matcher.NumPatterns(),
 		Engines:     prog.engineCounts(),
 	})
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decode request: %w", err), http.StatusBadRequest)
+		return
+	}
+	res, err := s.Update(r.PathValue("id"), req.Patterns, req.Options)
+	if errors.Is(err, ErrNotFound) {
+		writeServiceError(w, err)
+		return
+	}
+	if err != nil { // compile/map failures are caller errors, like POST /programs
+		writeError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Service) handleScan(w http.ResponseWriter, r *http.Request) {

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"sync"
 	"time"
 
+	"repro/internal/bitstream"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/refmatch"
@@ -34,17 +36,42 @@ func programKey(patterns []string, opts CompileOptions) string {
 
 // Program is one compiled, cached pattern set. The Matcher is immutable
 // after compilation and shared read-only by every scan and session, so a
-// Program needs no lock; its counters are atomic.
+// Program needs no lock beyond the lazily-built deployment image; its
+// counters are atomic. Update never mutates a Program — it builds a new
+// one and swaps it behind the same ID, so sessions holding the old
+// pointer keep matching the ruleset they opened against.
 type Program struct {
 	ID        string
 	Patterns  []string
 	Matcher   *refmatch.Matcher
 	CreatedAt time.Time
+	Opts      CompileOptions
+	// Generation counts hot-swaps behind this ID; 0 is the initial deploy.
+	Generation int64
+
+	// hwImg is the deployment bitstream for Patterns/Opts, built on first
+	// use (Update diffs against it to produce the delta bitstream).
+	hwMu  sync.Mutex
+	hwImg *bitstream.Image
 
 	scans    metrics.Counter
 	bytes    metrics.Counter
 	matches  metrics.Counter
 	sessions metrics.Counter // sessions ever opened against this program
+}
+
+// hwImage returns the program's deployment image, building it on demand.
+func (p *Program) hwImage() (*bitstream.Image, error) {
+	p.hwMu.Lock()
+	defer p.hwMu.Unlock()
+	if p.hwImg == nil {
+		img, err := buildImage(p.Patterns, p.Opts)
+		if err != nil {
+			return nil, err
+		}
+		p.hwImg = img
+	}
+	return p.hwImg, nil
 }
 
 // ProgramStats is the JSON snapshot of one program's counters.
@@ -53,6 +80,7 @@ type ProgramStats struct {
 	NumPatterns int            `json:"num_patterns"`
 	Engines     map[string]int `json:"engines"`
 	CreatedAt   time.Time      `json:"created_at"`
+	Generation  int64          `json:"generation"`
 	Scans       int64          `json:"scans"`
 	Bytes       int64          `json:"bytes"`
 	Matches     int64          `json:"matches"`
@@ -66,6 +94,7 @@ func (p *Program) Stats() ProgramStats {
 		NumPatterns: p.Matcher.NumPatterns(),
 		Engines:     p.engineCounts(),
 		CreatedAt:   p.CreatedAt,
+		Generation:  p.Generation,
 		Scans:       p.scans.Value(),
 		Bytes:       p.bytes.Value(),
 		Matches:     p.matches.Value(),

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,15 @@ type Service struct {
 	scanMatches metrics.Counter
 	opened      metrics.Counter
 	closedCount metrics.Counter
+
+	// Live-reconfiguration counters (Service.Update).
+	updateMu           sync.Mutex // serializes hot-swaps
+	updateLatency      metrics.Histogram
+	updates            metrics.Counter
+	updateDeltaBytes   metrics.Counter
+	updateFullBytes    metrics.Counter
+	updateReloadCycles metrics.Counter
+	updateStallCycles  metrics.Counter
 }
 
 // New creates a started service; Close releases its workers.
@@ -103,6 +113,7 @@ func (s *Service) Compile(patterns []string, opts CompileOptions) (*Program, boo
 			Patterns:  append([]string(nil), patterns...),
 			Matcher:   m,
 			CreatedAt: time.Now(),
+			Opts:      opts,
 		}, nil
 	})
 }
@@ -241,6 +252,44 @@ func (s *Service) CloseSession(sessionID string) ([]refmatch.Match, SessionSumma
 	return final, sess.summary(), nil
 }
 
+// DrainedSession is the outcome of force-closing one open session during
+// shutdown drain: its end-anchored final matches and totals.
+type DrainedSession struct {
+	Summary      SessionSummary   `json:"summary"`
+	FinalMatches []refmatch.Match `json:"final_matches,omitempty"`
+}
+
+// DrainSessions closes every open streaming session, emitting each one's
+// end-anchored matches as if the client had closed it. rapserve calls
+// this on SIGTERM after the HTTP listener has stopped, so in-flight
+// session state is flushed rather than silently dropped. Sessions that
+// race with a concurrent client close are skipped; queue-full rejections
+// are retried (the pool drains once new traffic stops).
+func (s *Service) DrainSessions() []DrainedSession {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]DrainedSession, 0, len(ids))
+	for _, id := range ids {
+		for {
+			final, sum, err := s.CloseSession(id)
+			if errors.Is(err, ErrQueueFull) {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if err == nil {
+				out = append(out, DrainedSession{Summary: sum, FinalMatches: final})
+			}
+			break
+		}
+	}
+	return out
+}
+
 // account folds one scan/chunk result into program, session and service
 // counters.
 func (s *Service) account(prog *Program, sess *session, nbytes, nmatches int) {
@@ -266,7 +315,20 @@ type Stats struct {
 	Cache         CacheStats                `json:"cache"`
 	Pool          PoolStats                 `json:"pool"`
 	Sessions      SessionStats              `json:"sessions"`
+	Reconfig      ReconfigStats             `json:"reconfig"`
 	Programs      []ProgramStats            `json:"programs"`
+}
+
+// ReconfigStats aggregates the live-reconfiguration counters: how many
+// hot-swaps ran, the delta bitstream bytes shipped versus the full
+// images they replaced, and the modeled fabric reload/stall cycles.
+type ReconfigStats struct {
+	Updates        int64                     `json:"updates"`
+	DeltaBytes     int64                     `json:"delta_bytes"`
+	FullImageBytes int64                     `json:"full_image_bytes"`
+	ReloadCycles   int64                     `json:"reload_cycles"`
+	StallCycles    int64                     `json:"stall_cycles"`
+	UpdateLatency  metrics.HistogramSnapshot `json:"update_latency"`
 }
 
 // Stats snapshots every counter in the service.
@@ -286,6 +348,14 @@ func (s *Service) Stats() Stats {
 			Open:   open,
 			Opened: s.opened.Value(),
 			Closed: s.closedCount.Value(),
+		},
+		Reconfig: ReconfigStats{
+			Updates:        s.updates.Value(),
+			DeltaBytes:     s.updateDeltaBytes.Value(),
+			FullImageBytes: s.updateFullBytes.Value(),
+			ReloadCycles:   s.updateReloadCycles.Value(),
+			StallCycles:    s.updateStallCycles.Value(),
+			UpdateLatency:  s.updateLatency.Snapshot(),
 		},
 		Programs: s.cache.snapshot(),
 	}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/compile"
+	"repro/internal/mapper"
+	"repro/internal/reconfig"
+	"repro/internal/refmatch"
+)
+
+// UpdateResult reports one ruleset hot-swap: the delta bitstream the
+// fabric would load instead of a full image, and the modeled cost of
+// loading it (internal/reconfig's §3.3 I/O-path model).
+type UpdateResult struct {
+	ProgramID   string `json:"program_id"`
+	Generation  int64  `json:"generation"`
+	NumPatterns int    `json:"num_patterns"`
+
+	DeltaBytes     int `json:"delta_bytes"`
+	FullImageBytes int `json:"full_image_bytes"`
+	DeltaRecords   int `json:"delta_records"`
+
+	ArraysTouched   int `json:"arrays_touched"`
+	ArraysUntouched int `json:"arrays_untouched"`
+
+	ReloadCycles     int64   `json:"reload_cycles"`
+	FullReloadCycles int64   `json:"full_reload_cycles"`
+	StallCycles      int64   `json:"stall_cycles"`
+	EnergyPJ         float64 `json:"energy_pj"`
+	ModelLatencyUS   float64 `json:"model_latency_us"`
+}
+
+// buildImage runs the hardware half of the pipeline — compile, map,
+// bitstream — for a pattern set, producing the deployment image the
+// reconfiguration delta is computed over.
+func buildImage(patterns []string, opts CompileOptions) (*bitstream.Image, error) {
+	res := compile.Compile(patterns, compile.Options{
+		UnfoldThreshold:    opts.UnfoldThreshold,
+		LinearBudgetFactor: opts.LinearBudgetFactor,
+		MaxNFAStates:       opts.MaxNFAStates,
+	})
+	if len(res.Errors) != 0 {
+		return nil, res.Errors[0]
+	}
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return bitstream.Build(res, p)
+}
+
+// Update hot-swaps the ruleset behind a program ID with zero downtime:
+// the new patterns are compiled and mapped, the deployment delta against
+// the currently-served image is computed and costed, and the program
+// object behind the ID is atomically replaced. Open streaming sessions
+// hold their *Program pointer and stay pinned to the pre-update ruleset
+// until they close; new sessions and one-shot scans see the new ruleset
+// from the moment Update returns. This mirrors the hardware semantics of
+// SimulateRAPReconfig: no automaton state migrates across the swap.
+func (s *Service) Update(programID string, patterns []string, opts CompileOptions) (*UpdateResult, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("service: empty pattern list")
+	}
+	// Serialize updates so concurrent swaps of one ID cannot interleave
+	// their read-modify-replace and lose a generation.
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	old, ok := s.cache.get(programID)
+	if !ok {
+		return nil, fmt.Errorf("%w: program %s", ErrNotFound, programID)
+	}
+	t0 := time.Now()
+	m, err := refmatch.CompileWithOptions(patterns, opts.refmatch())
+	if err != nil {
+		return nil, err
+	}
+	oldImg, err := old.hwImage()
+	if err != nil {
+		return nil, fmt.Errorf("service: current deployment image: %w", err)
+	}
+	newImg, err := buildImage(patterns, opts)
+	if err != nil {
+		return nil, fmt.Errorf("service: new deployment image: %w", err)
+	}
+	delta := reconfig.Diff(oldImg, newImg)
+	deltaData, err := delta.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := reconfig.Schedule(delta, newImg)
+	if err != nil {
+		return nil, err
+	}
+	cost := reconfig.CostOf(delta)
+	full := reconfig.FullCost(newImg)
+
+	next := &Program{
+		ID:         programID,
+		Patterns:   append([]string(nil), patterns...),
+		Matcher:    m,
+		CreatedAt:  time.Now(),
+		Opts:       opts,
+		Generation: old.Generation + 1,
+		hwImg:      newImg,
+	}
+	s.cache.replace(programID, next)
+
+	s.updates.Inc()
+	s.updateDeltaBytes.Add(int64(len(deltaData)))
+	s.updateFullBytes.Add(int64(newImg.SizeBytes()))
+	s.updateReloadCycles.Add(cost.ReloadCycles)
+	s.updateStallCycles.Add(plan.StallCycles)
+	s.updateLatency.Observe(time.Since(t0))
+
+	return &UpdateResult{
+		ProgramID:        programID,
+		Generation:       next.Generation,
+		NumPatterns:      m.NumPatterns(),
+		DeltaBytes:       len(deltaData),
+		FullImageBytes:   newImg.SizeBytes(),
+		DeltaRecords:     delta.Records(),
+		ArraysTouched:    len(delta.TouchedArrays()),
+		ArraysUntouched:  plan.UntouchedArrays,
+		ReloadCycles:     cost.ReloadCycles,
+		FullReloadCycles: full.ReloadCycles,
+		StallCycles:      plan.StallCycles,
+		EnergyPJ:         cost.EnergyPJ,
+		ModelLatencyUS:   plan.LatencyUS(),
+	}, nil
+}

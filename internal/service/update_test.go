@@ -1,0 +1,296 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestUpdateHotSwap(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Update(prog.ID, []string{"dog"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProgramID != prog.ID || res.Generation != 1 {
+		t.Errorf("update result id=%s gen=%d", res.ProgramID, res.Generation)
+	}
+	if res.DeltaBytes <= 0 || res.DeltaBytes >= res.FullImageBytes {
+		t.Errorf("delta %d B not below full image %d B", res.DeltaBytes, res.FullImageBytes)
+	}
+	if res.ReloadCycles <= 0 || res.ReloadCycles >= res.FullReloadCycles {
+		t.Errorf("incremental reload %d cycles not below full %d", res.ReloadCycles, res.FullReloadCycles)
+	}
+	// Scans against the same ID now run the new ruleset.
+	ms, err := s.Scan(prog.ID, []byte("cat dog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].End != 6 {
+		t.Errorf("post-update scan matches = %v, want dog only", ms)
+	}
+	// A second update bumps the generation again.
+	res2, err := s.Update(prog.ID, []string{"bird"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Generation != 2 {
+		t.Errorf("second update generation = %d", res2.Generation)
+	}
+	st := s.Stats()
+	if st.Reconfig.Updates != 2 {
+		t.Errorf("stats updates = %d", st.Reconfig.Updates)
+	}
+	if st.Reconfig.DeltaBytes != int64(res.DeltaBytes+res2.DeltaBytes) {
+		t.Errorf("stats delta bytes = %d", st.Reconfig.DeltaBytes)
+	}
+	if st.Reconfig.UpdateLatency.Count != 2 {
+		t.Errorf("update latency count = %d", st.Reconfig.UpdateLatency.Count)
+	}
+	if len(st.Programs) != 1 || st.Programs[0].Generation != 2 {
+		t.Errorf("program snapshot = %+v", st.Programs)
+	}
+}
+
+func TestUpdateIdenticalRulesetIsNearFree(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	prog, _, err := s.Compile([]string{"cat", "dog"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Update(prog.ID, []string{"cat", "dog"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaRecords != 0 || res.ReloadCycles != 0 || res.StallCycles != 0 {
+		t.Errorf("no-op update: %d records, %d reload, %d stall",
+			res.DeltaRecords, res.ReloadCycles, res.StallCycles)
+	}
+	if res.Generation != 1 {
+		t.Errorf("no-op update generation = %d", res.Generation)
+	}
+}
+
+func TestUpdatePinsOpenSessions(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSess, err := s.OpenSession(prog.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(prog.ID, []string{"dog"}, CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-update session still runs the old ruleset.
+	ms, err := s.Feed(oldSess, []byte("cat dog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].End != 2 {
+		t.Errorf("pinned session matches = %v, want cat only", ms)
+	}
+	// A session opened after the update runs the new one.
+	newSess, err := s.OpenSession(prog.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err = s.Feed(newSess, []byte("cat dog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].End != 6 {
+		t.Errorf("new session matches = %v, want dog only", ms)
+	}
+	for _, id := range []string{oldSess, newSess} {
+		if _, _, err := s.CloseSession(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUpdatedThenEvictedProgramStillServesOldSessions(t *testing.T) {
+	// A session opened before an update survives both the hot-swap of its
+	// program ID and the LRU eviction of the updated program: its *Program
+	// pointer pins the pre-update matcher until CloseSession.
+	s := New(Config{Workers: 1, ProgramCacheSize: 1})
+	defer s.Close()
+	p1, _, err := s.Compile([]string{"ab"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.OpenSession(p1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(p1.ID, []string{"cd"}, CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Compile([]string{"ef"}, CompileOptions{}); err != nil {
+		t.Fatal(err) // evicts the updated program behind p1.ID
+	}
+	if _, ok := s.Program(p1.ID); ok {
+		t.Fatal("updated program should be evicted")
+	}
+	ms, err := s.Feed(id, []byte("xabx then cd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].End != 2 {
+		t.Errorf("evicted+updated session matches = %v, want pre-update ab", ms)
+	}
+	if _, _, err := s.CloseSession(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(p1.ID, []string{"gh"}, CompileOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("update of evicted ID err = %v", err)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	if _, err := s.Update("nope", []string{"x"}, CompileOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown program err = %v", err)
+	}
+	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(prog.ID, nil, CompileOptions{}); err == nil {
+		t.Error("empty pattern list accepted")
+	}
+	if _, err := s.Update(prog.ID, []string{"("}, CompileOptions{}); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+	// A failed update must leave the old ruleset serving.
+	ms, err := s.Scan(prog.ID, []byte("cat"))
+	if err != nil || len(ms) != 1 {
+		t.Errorf("program damaged by failed update: ms=%v err=%v", ms, err)
+	}
+	if st := s.Stats(); st.Reconfig.Updates != 0 {
+		t.Errorf("failed updates counted: %d", st.Reconfig.Updates)
+	}
+}
+
+func TestUpdateConcurrentFeed(t *testing.T) {
+	// Hot-swap while sessions are streaming: run under -race this is the
+	// thread-safety acceptance test for live reconfiguration. Sessions
+	// opened before any update must keep matching the original ruleset
+	// throughout; scans after the last update see the final one.
+	s := New(Config{Workers: 4, QueueDepth: 256})
+	defer s.Close()
+	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const feeders = 8
+	ids := make([]string, feeders)
+	for i := range ids {
+		if ids[i], err = s.OpenSession(prog.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, feeders)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				ms, err := s.Feed(id, []byte("xcatx"))
+				if err != nil {
+					if errors.Is(err, ErrQueueFull) {
+						continue
+					}
+					errCh <- err
+					return
+				}
+				if len(ms) != 1 {
+					errCh <- fmt.Errorf("pinned session saw %d matches mid-update", len(ms))
+					return
+				}
+			}
+		}(id)
+	}
+	rulesets := [][]string{{"dog"}, {"bird"}, {"dog"}, {"fish"}}
+	for _, rs := range rulesets {
+		if _, err := s.Update(prog.ID, rs, CompileOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	for _, id := range ids {
+		if _, _, err := s.CloseSession(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms, err := s.Scan(prog.ID, []byte("cat dog fish"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].End != 11 {
+		t.Errorf("post-update scan = %v, want final ruleset fish", ms)
+	}
+	if got := s.Stats().Reconfig.Updates; got != int64(len(rulesets)) {
+		t.Errorf("updates = %d, want %d", got, len(rulesets))
+	}
+}
+
+func TestHTTPUpdate(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(compileRequest{Patterns: []string{"dog"}})
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/programs/"+prog.ID, bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	var res UpdateResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 1 || res.DeltaBytes <= 0 || res.DeltaBytes >= res.FullImageBytes {
+		t.Errorf("update response = %+v", res)
+	}
+
+	// Unknown ID → 404; bad pattern → 400.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/programs/nope", bytes.NewReader(body))
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown ID: %v %v", resp.StatusCode, err)
+	}
+	bad, _ := json.Marshal(compileRequest{Patterns: []string{"("}})
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/programs/"+prog.ID, bytes.NewReader(bad))
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad pattern: %v %v", resp.StatusCode, err)
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compile"
+)
+
+// ReconfigEvent is a mid-stream live reconfiguration: at input offset At
+// the fabric swaps from the old placement to the new one, stalling the
+// touched banks for StallCycles (the reconfig scheduler's quiesce +
+// serialized-reload window) and spending EnergyPJ of configuration-write
+// energy. It extends the flows/context-switch machinery — where a context
+// switch saves and restores per-flow state, a reconfiguration rewrites
+// the configuration itself.
+type ReconfigEvent struct {
+	// At is the input offset at which the swap takes effect. Bytes before
+	// it run on the old program, bytes from it onward on the new one.
+	At int
+	// StallCycles is the chip-level stall window (reconfig.Plan.StallCycles).
+	StallCycles int64
+	// EnergyPJ is the configuration-write energy (reconfig.Plan.EnergyPJ).
+	EnergyPJ float64
+}
+
+// SimulateRAPReconfig executes a live ruleset swap: the old compilation/
+// placement matches input[:ev.At], the fabric quiesces and reloads for
+// ev.StallCycles, and the new compilation/placement matches input[ev.At:].
+// Automaton state does not survive the swap — quiescing drains the arrays
+// (§3.3's deployment path has no state migration), so patterns straddling
+// the boundary do not match; this is the same semantics the service layer
+// exposes by pinning open sessions to the pre-update program.
+//
+// The merged report sums matches, energy and stalls; PerRegex indices
+// refer to the old compilation below ev.At and the new one above it, so
+// the merged map keys by the new compilation only when the regex counts
+// agree — otherwise PerRegex is left nil.
+func SimulateRAPReconfig(resOld *compile.Result, pOld *arch.Placement,
+	resNew *compile.Result, pNew *arch.Placement,
+	input []byte, ev ReconfigEvent) (*Report, error) {
+	if ev.At < 0 || ev.At > len(input) {
+		return nil, fmt.Errorf("sim: reconfigure offset %d outside input of %d", ev.At, len(input))
+	}
+	if ev.StallCycles < 0 {
+		return nil, fmt.Errorf("sim: negative stall %d", ev.StallCycles)
+	}
+	before, err := SimulateRAP(resOld, pOld, input[:ev.At])
+	if err != nil {
+		return nil, fmt.Errorf("sim: pre-reconfigure phase: %w", err)
+	}
+	after, err := SimulateRAP(resNew, pNew, input[ev.At:])
+	if err != nil {
+		return nil, fmt.Errorf("sim: post-reconfigure phase: %w", err)
+	}
+	rep := &Report{
+		Arch:     "RAP",
+		Chars:    int64(len(input)),
+		ClockGHz: before.ClockGHz,
+		// The two phases run sequentially on the same fabric; the stall
+		// window sits between them.
+		Cycles:              before.Cycles + ev.StallCycles + after.Cycles,
+		StallCycles:         before.StallCycles + after.StallCycles + ev.StallCycles,
+		ReconfigEvents:      1,
+		ReconfigStallCycles: ev.StallCycles,
+		Matches:             before.Matches + after.Matches,
+		IOInterrupts:        before.IOInterrupts + after.IOInterrupts,
+		GatedTileCycles:     before.GatedTileCycles + after.GatedTileCycles,
+		LNFATileCycles:      before.LNFATileCycles + after.LNFATileCycles,
+	}
+	rep.Energy.Add(before.Energy)
+	rep.Energy.Add(after.Energy)
+	rep.Energy.Config += ev.EnergyPJ
+	// Leakage during the stall window, on the fabric being programmed.
+	stallS := float64(ev.StallCycles) / (rep.ClockGHz * 1e9)
+	rep.Energy.Leakage += leakagePowerW("RAP", pNew) * stallS * 1e12
+	// The fabric must provision for both placements; report the larger.
+	aOld, aNew := rapArea(pOld), rapArea(pNew)
+	if aOld.TotalMM2() > aNew.TotalMM2() {
+		rep.Area = aOld
+	} else {
+		rep.Area = aNew
+	}
+	if len(resOld.Regexes) == len(resNew.Regexes) {
+		rep.PerRegex = map[int]int64{}
+		for ri, n := range before.PerRegex {
+			rep.PerRegex[ri] += n
+		}
+		for ri, n := range after.PerRegex {
+			rep.PerRegex[ri] += n
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/compile"
+	"repro/internal/mapper"
+)
+
+func compileAndMap(t *testing.T, patterns []string) (*compile.Result, *arch.Placement) {
+	t.Helper()
+	res := compile.Compile(patterns, compile.Options{})
+	if len(res.Errors) != 0 {
+		t.Fatal(res.Errors[0])
+	}
+	p, err := mapper.Map(res, mapper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, p
+}
+
+func TestSimulateRAPReconfigSplitsMatching(t *testing.T) {
+	resOld, pOld := compileAndMap(t, []string{"cat"})
+	resNew, pNew := compileAndMap(t, []string{"dog"})
+	// "cat" appears only before the swap, "dog" only after: both match.
+	input := append(bytes.Repeat([]byte("xcatx"), 10), bytes.Repeat([]byte("xdogx"), 10)...)
+	at := 50
+	ev := ReconfigEvent{At: at, StallCycles: 100, EnergyPJ: 500}
+	rep, err := SimulateRAPReconfig(resOld, pOld, resNew, pNew, input, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches != 20 {
+		t.Errorf("matches = %d, want 10 cat + 10 dog", rep.Matches)
+	}
+	if rep.ReconfigEvents != 1 || rep.ReconfigStallCycles != 100 {
+		t.Errorf("reconfig accounting = %d events, %d stall", rep.ReconfigEvents, rep.ReconfigStallCycles)
+	}
+	if rep.Energy.Config != 500 {
+		t.Errorf("config energy = %v", rep.Energy.Config)
+	}
+	if rep.Chars != int64(len(input)) {
+		t.Errorf("chars = %d", rep.Chars)
+	}
+
+	// The stall must show up in throughput: the same input with no event
+	// finishes at least StallCycles earlier.
+	noEv, err := SimulateRAPReconfig(resOld, pOld, resNew, pNew, input, ReconfigEvent{At: at})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != noEv.Cycles+100 {
+		t.Errorf("cycles %d != %d + 100 stall", rep.Cycles, noEv.Cycles)
+	}
+	if rep.Energy.TotalPJ() <= noEv.Energy.TotalPJ() {
+		t.Error("reconfiguration energy not charged")
+	}
+}
+
+func TestSimulateRAPReconfigBoundaryNoCarryover(t *testing.T) {
+	// A pattern straddling the swap boundary must NOT match: quiesce
+	// drains the automaton state.
+	resOld, pOld := compileAndMap(t, []string{"abcd"})
+	resNew, pNew := compileAndMap(t, []string{"abcd"})
+	input := []byte("abcd")
+	rep, err := SimulateRAPReconfig(resOld, pOld, resNew, pNew, input, ReconfigEvent{At: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches != 0 {
+		t.Errorf("straddling match leaked across the swap: %d", rep.Matches)
+	}
+}
+
+func TestSimulateRAPReconfigBadOffset(t *testing.T) {
+	res, p := compileAndMap(t, []string{"x"})
+	if _, err := SimulateRAPReconfig(res, p, res, p, []byte("xx"), ReconfigEvent{At: 5}); err == nil {
+		t.Error("offset beyond input accepted")
+	}
+	if _, err := SimulateRAPReconfig(res, p, res, p, []byte("xx"), ReconfigEvent{At: -1}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := SimulateRAPReconfig(res, p, res, p, []byte("xx"), ReconfigEvent{StallCycles: -1}); err == nil {
+		t.Error("negative stall accepted")
+	}
+}

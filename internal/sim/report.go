@@ -21,12 +21,13 @@ type EnergyBreakdown struct {
 	Controller   float64 // local + global controllers
 	BVM          float64 // BVAP's dedicated bit-vector modules
 	Wire         float64 // global wires / LNFA ring
+	Config       float64 // live-reconfiguration writes (delta reload path)
 	Leakage      float64
 }
 
 // TotalPJ returns the summed energy in picojoules.
 func (e *EnergyBreakdown) TotalPJ() float64 {
-	return e.CAM + e.LocalSwitch + e.GlobalSwitch + e.Controller + e.BVM + e.Wire + e.Leakage
+	return e.CAM + e.LocalSwitch + e.GlobalSwitch + e.Controller + e.BVM + e.Wire + e.Config + e.Leakage
 }
 
 // Add accumulates another breakdown.
@@ -37,6 +38,7 @@ func (e *EnergyBreakdown) Add(o EnergyBreakdown) {
 	e.Controller += o.Controller
 	e.BVM += o.BVM
 	e.Wire += o.Wire
+	e.Config += o.Config
 	e.Leakage += o.Leakage
 }
 
@@ -78,6 +80,12 @@ type Report struct {
 	// an interrupt is raised whenever the 64-entry buffer fills).
 	IOInterrupts int64
 	ClockGHz     float64
+
+	// ReconfigEvents counts mid-stream live reconfigurations and
+	// ReconfigStallCycles the cycles the match pipeline stalled for them
+	// (filled by SimulateRAPReconfig).
+	ReconfigEvents      int64
+	ReconfigStallCycles int64
 
 	// PerRegex attributes match reports to compiled regex indices
 	// (filled by SimulateRAP; nil for the baseline simulators).

@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -109,7 +110,7 @@ func BenchmarkServiceScan(b *testing.B) {
 
 	svc := service.New(service.Config{})
 	defer svc.Close()
-	prog, _, err := svc.Compile(d.Patterns, service.CompileOptions{})
+	prog, _, err := svc.Compile(context.Background(), d.Patterns, service.CompileOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func BenchmarkServiceScan(b *testing.B) {
 		b.SetBytes(int64(len(input)))
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
-				if _, err := svc.Scan(prog.ID, input); err != nil {
+				if _, err := svc.Scan(context.Background(), prog.ID, input); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,22 +5,46 @@
 //	rapbench -exp table2                 # one experiment
 //	rapbench -exp all -out ./result      # everything, with CSV outputs
 //	rapbench -exp fig12 -scale 0.5 -input 50000
+//	rapbench -exp service -json ./bench  # machine-readable BENCH_service.json
 //
 // Experiments: fig1, fig10a, fig10b, table2, table3, fig11, fig12, fig13,
-// table4, ablation, characterize, flows, reconfig, all. The reconfig
-// experiment is beyond-paper: it prices live ruleset updates (delta
-// bitstream + tile quiesce/reload) against full redeployment.
+// table4, ablation, characterize, flows, reconfig, service, all. The
+// reconfig experiment is beyond-paper: it prices live ruleset updates
+// (delta bitstream + tile quiesce/reload) against full redeployment; the
+// service experiment benchmarks the serving stack (cache + worker pool)
+// against direct matcher calls.
+//
+// -json DIR additionally writes one BENCH_<exp>.json per experiment —
+// result table plus config, wall time and build identity — so CI can
+// archive the perf trajectory run over run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
+
+// benchRecord is the BENCH_<exp>.json schema.
+type benchRecord struct {
+	Name            string              `json:"name"`
+	Timestamp       string              `json:"timestamp"`
+	DurationSeconds float64             `json:"duration_seconds"`
+	GOOS            string              `json:"goos"`
+	GOARCH          string              `json:"goarch"`
+	NumCPU          int                 `json:"num_cpu"`
+	Build           telemetry.BuildInfo `json:"build"`
+	Config          experiments.Config  `json:"config"`
+	Table           *metrics.Table      `json:"table"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(experiments.Names, ", ")+", or all")
@@ -28,6 +52,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	inputLen := flag.Int("input", 100000, "input stream length in characters")
 	out := flag.String("out", "", "directory for CSV outputs (optional)")
+	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<exp>.json records (optional)")
 	parallel := flag.Bool("parallel", true, "run per-dataset work concurrently")
 	flag.Parse()
 
@@ -44,10 +69,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rapbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(t.String())
-		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", name, elapsed.Seconds())
+		if *jsonDir != "" {
+			rec := benchRecord{
+				Name:            name,
+				Timestamp:       start.UTC().Format(time.RFC3339),
+				DurationSeconds: elapsed.Seconds(),
+				GOOS:            runtime.GOOS,
+				GOARCH:          runtime.GOARCH,
+				NumCPU:          runtime.NumCPU(),
+				Build:           telemetry.Build(),
+				Config:          cfg,
+				Table:           t,
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+			if err := metrics.SaveJSON(path, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "rapbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *out != "" {
 		fmt.Printf("CSV outputs written to %s\n", *out)
+	}
+	if *jsonDir != "" {
+		fmt.Printf("BENCH_*.json records written to %s\n", *jsonDir)
 	}
 }

@@ -1,7 +1,8 @@
 // Command rapserve runs the multi-tenant streaming match service: a
 // long-lived HTTP server in front of the refmatch engine with a compiled-
-// program cache, persistent per-session scan state, and a sharded worker
-// pool (see internal/service).
+// program cache, persistent per-session scan state, a sharded worker
+// pool, and a full observability surface (see internal/service and
+// internal/telemetry).
 //
 //	rapserve -addr :8844
 //
@@ -15,9 +16,14 @@
 //	curl -s localhost:8844/sessions -d '{"program_id":"'$ID'"}'
 //	curl -s localhost:8844/sessions/$SID/data --data-binary @chunk1.bin
 //	curl -s -X DELETE localhost:8844/sessions/$SID
-//	# counters
+//	# counters (JSON), Prometheus exposition, recent slow traces
 //	curl -s localhost:8844/stats
+//	curl -s localhost:8844/metrics
+//	curl -s localhost:8844/debug/traces
 //
+// Every request is traced (incoming traceparent headers are honored, the
+// trace ID is echoed as X-Trace-Id) and logged as one structured slog
+// line. -pprof additionally mounts net/http/pprof under /debug/pprof/.
 // Optionally a ruleset can be preloaded at startup with -f, so the first
 // request needs no compile round trip.
 package main
@@ -26,7 +32,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +42,7 @@ import (
 
 	"repro/internal/patfile"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -43,36 +52,69 @@ func main() {
 	cacheSize := flag.Int("cache", 128, "compiled-program LRU capacity")
 	maxSessions := flag.Int("max-sessions", 4096, "open streaming session cap")
 	preload := flag.String("f", "", "preload a pattern file (one pattern per line) into the cache")
+	logFormat := flag.String("log", "text", "access/runtime log format: text or json")
+	slowTrace := flag.Duration("slow-trace", 0, "retain only traces at least this slow in /debug/traces (0 = all)")
+	traceRing := flag.Int("trace-ring", 128, "finished traces retained for /debug/traces")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stdout, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stdout, nil)
+	default:
+		fatal(fmt.Errorf("unknown -log format %q (want text or json)", *logFormat))
+	}
+	logger := slog.New(handler)
 
 	svc := service.New(service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		ProgramCacheSize: *cacheSize,
 		MaxSessions:      *maxSessions,
+		Logger:           logger,
+		TraceRing:        *traceRing,
+		SlowTrace:        *slowTrace,
 	})
 	defer svc.Close()
+
+	// Goroutine/heap/GC gauges land on the same /metrics endpoint as the
+	// service counters, so one scrape captures process + workload health.
+	telemetry.RegisterRuntimeMetrics(svc.Telemetry())
 
 	if *preload != "" {
 		patterns, err := patfile.Read(*preload)
 		if err != nil {
 			fatal(err)
 		}
-		prog, _, err := svc.Compile(patterns, service.CompileOptions{})
+		prog, _, err := svc.Compile(context.Background(), patterns, service.CompileOptions{})
 		if err != nil {
 			fatal(fmt.Errorf("preload %s: %w", *preload, err))
 		}
-		fmt.Printf("rapserve: preloaded %d patterns as program %s\n", len(patterns), prog.ID)
+		logger.Info("preloaded ruleset", "patterns", len(patterns), "program", prog.ID)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("rapserve: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr, "pprof", *pprofOn,
+		"go_version", telemetry.Build().GoVersion, "revision", telemetry.Build().Revision)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -80,7 +122,7 @@ func main() {
 	case err := <-errCh:
 		fatal(err)
 	case s := <-sig:
-		fmt.Printf("rapserve: %v, draining\n", s)
+		logger.Info("draining", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -92,11 +134,12 @@ func main() {
 		finals := 0
 		for _, d := range drained {
 			finals += len(d.FinalMatches)
-			fmt.Printf("rapserve: drained %s (program %s, %d bytes, %d matches, %d at end)\n",
-				d.Summary.SessionID, d.Summary.ProgramID, d.Summary.Bytes,
-				d.Summary.Matches, len(d.FinalMatches))
+			logger.Info("drained session",
+				"session", d.Summary.SessionID, "program", d.Summary.ProgramID,
+				"bytes", d.Summary.Bytes, "matches", d.Summary.Matches,
+				"end_anchored", len(d.FinalMatches))
 		}
-		fmt.Printf("rapserve: drained %d sessions, %d end-anchored matches\n", len(drained), finals)
+		logger.Info("drained", "sessions", len(drained), "end_anchored_matches", finals)
 	}
 }
 

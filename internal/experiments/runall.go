@@ -7,7 +7,7 @@ import (
 )
 
 // Experiment names accepted by Run.
-var Names = []string{"fig1", "fig10a", "fig10b", "table2", "table3", "fig11", "fig12", "fig13", "table4", "ablation", "characterize", "flows", "reconfig"}
+var Names = []string{"fig1", "fig10a", "fig10b", "table2", "table3", "fig11", "fig12", "fig13", "table4", "ablation", "characterize", "flows", "reconfig", "service"}
 
 // Run dispatches one experiment by name.
 func Run(name string, cfg Config) (*metrics.Table, error) {
@@ -38,6 +38,8 @@ func Run(name string, cfg Config) (*metrics.Table, error) {
 		return Flows(cfg)
 	case "reconfig":
 		return Reconfig(cfg)
+	case "service":
+		return ServiceBench(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
 	}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/service"
+)
+
+// serviceScans is the fixed scan count of the serving benchmark — small
+// enough for a CI smoke run, large enough to populate the latency
+// histograms past the warmup buckets.
+const serviceScans = 48
+
+// ServiceBench is the serving-path benchmark: the same comparison
+// BenchmarkServiceScan makes (one-shot scans through program cache +
+// sharded worker pool versus calling the compiled matcher directly),
+// packaged as a rapbench experiment so the result is machine-readable —
+// `rapbench -exp service -json DIR` archives it as BENCH_service.json
+// and CI tracks the serving overhead over time. The service rows also
+// break the overhead down with the telemetry layer's per-stage
+// histograms (queue wait vs scan).
+func ServiceBench(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	d, input, err := cfg.dataset("Snort")
+	if err != nil {
+		return nil, err
+	}
+
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	ctx := context.Background()
+	prog, _, err := svc.Compile(ctx, d.Patterns, service.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm both paths (page in the matcher, spin up pool workers).
+	if _, err := svc.Scan(ctx, prog.ID, input); err != nil {
+		return nil, err
+	}
+	prog.Matcher.Scan(input)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > serviceScans {
+		workers = serviceScans
+	}
+	// run spreads n calls of fn over the worker goroutines and returns
+	// the wall time; fn errors win over timing.
+	run := func(n int, fn func() error) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					if err := fn(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return wall, nil
+	}
+
+	var direct metrics.Histogram
+	directWall, err := run(serviceScans, func() error {
+		t0 := time.Now()
+		prog.Matcher.Scan(input)
+		direct.Observe(time.Since(t0))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	serviceWall, err := run(serviceScans, func() error {
+		_, err := svc.Scan(ctx, prog.ID, input)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st := svc.Stats()
+	mbps := func(wall time.Duration) float64 {
+		return float64(serviceScans) * float64(len(input)) / 1e6 / wall.Seconds()
+	}
+	t := &metrics.Table{
+		Name:   "Serving path: service (cache + pool + telemetry) vs direct matcher",
+		Header: []string{"Path", "Scans", "Bytes/scan", "Wall ms", "MB/s", "p50 us", "p99 us"},
+	}
+	ds := direct.Snapshot()
+	t.AddRow("direct", serviceScans, len(input),
+		float64(directWall.Milliseconds()), mbps(directWall), ds.P50US, ds.P99US)
+	scan := st.Stages["scan"]
+	t.AddRow("service", serviceScans, len(input),
+		float64(serviceWall.Milliseconds()), mbps(serviceWall), scan.P50US, scan.P99US)
+	qw := st.Stages["queue_wait"]
+	t.AddRow("service/queue_wait", "-", "-", "-", "-", qw.P50US, qw.P99US)
+	if err := cfg.saveTable(t, "service_bench.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -39,9 +39,11 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// histBuckets is the number of exponential latency buckets: bucket i
-// counts observations in [2^i, 2^(i+1)) microseconds, so the histogram
-// spans 1µs up to ~2.3 hours before saturating into the last bucket.
+// histBuckets is the number of exponential latency buckets: bucket 0
+// holds sub-microsecond observations (0µs after truncation), bucket 1
+// holds exactly 1µs, and bucket i ≥ 2 counts observations in
+// [2^(i-1), 2^i) microseconds, so the histogram spans up to ~36 minutes
+// before saturating into the last bucket.
 const histBuckets = 33
 
 // Histogram is a fixed-bucket exponential latency histogram. Observations
@@ -55,29 +57,68 @@ type Histogram struct {
 }
 
 // Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(d.Microseconds()) }
+
+// ObserveValue records one raw value (in microseconds for latency
+// histograms, but any non-negative unit works: bytes, cycles, ...).
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
 	}
 	h.count.Add(1)
-	h.sumUS.Add(us)
+	h.sumUS.Add(v)
 	for {
 		old := h.maxUS.Load()
-		if us <= old || h.maxUS.CompareAndSwap(old, us) {
+		if v <= old || h.maxUS.CompareAndSwap(old, v) {
 			break
 		}
 	}
-	h.buckets[bucketOf(us)].Add(1)
+	h.buckets[bucketOf(v)].Add(1)
 }
 
 func bucketOf(us int64) int {
-	b := 0
+	if us <= 0 {
+		return 0
+	}
+	b := 1
 	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
 		b++
 	}
 	return b
 }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values (µs for latency histograms).
+func (h *Histogram) Sum() int64 { return h.sumUS.Load() }
+
+// BucketCounts returns the per-bucket observation counts, index-aligned
+// with BucketUpperBound.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i (0 for
+// the sub-unit bucket, 1, 3, 7, 15, ...); the last bucket is unbounded
+// and reports math.MaxInt64, which exporters should render as +Inf.
+func BucketUpperBound(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= histBuckets-1:
+		return math.MaxInt64
+	default:
+		return int64(1)<<uint(i) - 1
+	}
+}
+
+// NumBuckets returns the fixed bucket count of every Histogram.
+func NumBuckets() int { return histBuckets }
 
 // HistogramSnapshot is the JSON-friendly view of a Histogram.
 type HistogramSnapshot struct {
@@ -113,7 +154,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // quantile returns the upper bound (in µs) of the bucket containing the
-// q-quantile observation.
+// q-quantile observation. The first two buckets hold the exact values 0
+// and 1 and are reported as such — a histogram of sub-microsecond
+// observations answers p50_us: 0, not the old bucket-upper-bound 2.
 func quantile(counts []int64, total int64, q float64) int64 {
 	if total == 0 {
 		return 0
@@ -123,8 +166,11 @@ func quantile(counts []int64, total int64, q float64) int64 {
 	for i, c := range counts {
 		seen += c
 		if seen >= rank {
-			return int64(1) << uint(i+1) // bucket upper bound
+			if i <= 1 {
+				return int64(i) // exact-value buckets: 0µs and 1µs
+			}
+			return int64(1) << uint(i) // bucket upper bound
 		}
 	}
-	return int64(1) << histBuckets
+	return int64(1) << uint(histBuckets-1)
 }

@@ -26,5 +26,12 @@
 //     preserved without locks across scans, and per-worker flow context
 //     switches are counted exactly as the flows experiment counts them.
 //
+// Every request is traced and metered through internal/telemetry: the
+// API handlers run inside a tracing middleware (traceparent in,
+// X-Trace-Id out, one slog access-log line), the request path is broken
+// into per-stage histograms (cache_lookup, compile, queue_wait, scan,
+// reconfig_apply) exposed in Prometheus text format at /metrics, and
+// finished traces land in a ring served at /debug/traces.
+//
 // The HTTP surface (see Handler) is exercised by cmd/rapserve.
 package service

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/refmatch"
+	"repro/internal/telemetry"
 )
 
 // maxBodyBytes bounds scan/compile request bodies (32 MiB).
@@ -21,21 +22,34 @@ const maxBodyBytes = 32 << 20
 //	POST   /sessions            {"program_id":...} → open streaming session
 //	POST   /sessions/{id}/data  raw bytes → matches in this chunk
 //	DELETE /sessions/{id}       → end-anchored matches + totals
-//	GET    /stats               → counters snapshot
+//	GET    /stats               → counters snapshot (JSON)
+//	GET    /metrics             → Prometheus text exposition
+//	GET    /debug/traces        → recent slow request traces
 //	GET    /healthz             → ok
+//
+// API routes are wrapped in the telemetry middleware: every request gets
+// a trace (continuing an incoming traceparent header), per-stage spans,
+// an X-Trace-Id response header, and — when Config.Logger is set — one
+// structured access-log line. Scrape and health endpoints stay outside
+// the middleware so monitoring traffic does not pollute the trace ring.
 func (s *Service) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /programs", s.handleCompile)
-	mux.HandleFunc("PUT /programs/{id}", s.handleUpdate)
-	mux.HandleFunc("POST /programs/{id}/scan", s.handleScan)
-	mux.HandleFunc("POST /sessions", s.handleOpenSession)
-	mux.HandleFunc("POST /sessions/{id}/data", s.handleFeed)
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	api := http.NewServeMux()
+	api.HandleFunc("POST /programs", s.handleCompile)
+	api.HandleFunc("PUT /programs/{id}", s.handleUpdate)
+	api.HandleFunc("POST /programs/{id}/scan", s.handleScan)
+	api.HandleFunc("POST /sessions", s.handleOpenSession)
+	api.HandleFunc("POST /sessions/{id}/data", s.handleFeed)
+	api.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
+	api.HandleFunc("GET /stats", s.handleStats)
+
+	root := http.NewServeMux()
+	root.Handle("/", telemetry.Middleware(s.tracer, s.cfg.Logger, api))
+	root.Handle("GET /metrics", s.tel.Handler())
+	root.Handle("GET /debug/traces", s.tracer.Handler())
+	root.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return root
 }
 
 // Wire types.
@@ -92,7 +106,7 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("decode request: %w", err), http.StatusBadRequest)
 		return
 	}
-	prog, hit, err := s.Compile(req.Patterns, req.Options)
+	prog, hit, err := s.Compile(r.Context(), req.Patterns, req.Options)
 	if err != nil {
 		writeError(w, err, http.StatusBadRequest)
 		return
@@ -111,7 +125,7 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("decode request: %w", err), http.StatusBadRequest)
 		return
 	}
-	res, err := s.Update(r.PathValue("id"), req.Patterns, req.Options)
+	res, err := s.Update(r.Context(), r.PathValue("id"), req.Patterns, req.Options)
 	if errors.Is(err, ErrNotFound) {
 		writeServiceError(w, err)
 		return
@@ -129,7 +143,7 @@ func (s *Service) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err, http.StatusBadRequest)
 		return
 	}
-	matches, err := s.Scan(r.PathValue("id"), data)
+	matches, err := s.Scan(r.Context(), r.PathValue("id"), data)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -143,7 +157,7 @@ func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("decode request: %w", err), http.StatusBadRequest)
 		return
 	}
-	id, err := s.OpenSession(req.ProgramID)
+	id, err := s.OpenSession(r.Context(), req.ProgramID)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -158,7 +172,7 @@ func (s *Service) handleFeed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	matches, err := s.Feed(id, chunk)
+	matches, err := s.Feed(r.Context(), id, chunk)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -175,7 +189,7 @@ func (s *Service) handleFeed(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleCloseSession(w http.ResponseWriter, r *http.Request) {
-	final, summary, err := s.CloseSession(r.PathValue("id"))
+	final, summary, err := s.CloseSession(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -188,6 +202,9 @@ func (s *Service) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Snapshots must never be served from an intermediary cache: every
+	// read is a live view attributable to this process (see Stats.Build).
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/refmatch"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -199,6 +202,187 @@ func TestRapserveEndToEnd(t *testing.T) {
 	if len(st.Programs) != 1 || st.Programs[0].Sessions != nSessions {
 		t.Errorf("program stats = %+v", st.Programs)
 	}
+}
+
+// TestObservabilityEndToEnd is the acceptance test of the telemetry
+// tentpole: one traced scan request must surface the same trace ID in
+// the X-Trace-Id response header, the structured slog access log, and
+// the /debug/traces ring — with a "scan" span recorded — while /metrics
+// serves Prometheus text exposition carrying the per-stage histograms
+// and reconfig counters, and /stats reports build identity. Both
+// snapshot endpoints must forbid intermediary caching.
+func TestObservabilityEndToEnd(t *testing.T) {
+	var logBuf bytes.Buffer
+	logMu := &sync.Mutex{}
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{mu: logMu, w: &logBuf}, nil))
+
+	svc := New(Config{Workers: 2, Logger: logger})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	body, _ := json.Marshal(compileRequest{Patterns: []string{"needle", "ab{2,5}c"}})
+	var comp compileResponse
+	doJSON(t, client, "POST", srv.URL+"/programs", body, &comp)
+
+	// Scan with an incoming traceparent: the service must continue the
+	// caller's trace rather than minting a fresh ID.
+	const wantTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, _ := http.NewRequest("POST", srv.URL+"/programs/"+comp.ProgramID+"/scan",
+		bytes.NewReader([]byte("xx needle yy abbbc")))
+	req.Header.Set(telemetry.TraceParentHeader, "00-"+wantTrace+"-00f067aa0ba902b7-01")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != wantTrace {
+		t.Fatalf("X-Trace-Id = %q, want %q", got, wantTrace)
+	}
+
+	// 1/3: the access log line carries the trace ID.
+	logMu.Lock()
+	logText := logBuf.String()
+	logMu.Unlock()
+	if !strings.Contains(logText, wantTrace) {
+		t.Errorf("access log does not mention trace %s:\n%s", wantTrace, logText)
+	}
+	if !strings.Contains(logText, `"path":"/programs/`+comp.ProgramID+`/scan"`) {
+		t.Errorf("access log does not mention the scan path:\n%s", logText)
+	}
+
+	// 2/3: the trace ring has the finished trace, with a scan span.
+	req, _ = http.NewRequest("GET", srv.URL+"/debug/traces", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceDump, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/debug/traces Cache-Control = %q", cc)
+	}
+	var dump struct {
+		Traces []struct {
+			TraceID string           `json:"trace_id"`
+			Spans   []telemetry.Span `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(traceDump, &dump); err != nil {
+		t.Fatalf("/debug/traces: %v (%s)", err, traceDump)
+	}
+	foundTrace, foundScanSpan := false, false
+	for _, tr := range dump.Traces {
+		if tr.TraceID != wantTrace {
+			continue
+		}
+		foundTrace = true
+		for _, sp := range tr.Spans {
+			if sp.Name == "scan" {
+				foundScanSpan = true
+			}
+		}
+	}
+	if !foundTrace || !foundScanSpan {
+		t.Errorf("/debug/traces: trace found=%v scan span=%v (%s)", foundTrace, foundScanSpan, traceDump)
+	}
+
+	// 3/3 is the X-Trace-Id check above. Now the exposition surface.
+	req, _ = http.NewRequest("GET", srv.URL+"/metrics", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/metrics Cache-Control = %q", cc)
+	}
+	for _, want := range []string{
+		`# TYPE rap_stage_duration_us histogram`,
+		`rap_stage_duration_us_bucket{stage="scan",le="+Inf"} 1`,
+		`rap_stage_duration_us_count{stage="cache_lookup"}`,
+		`rap_stage_duration_us_count{stage="queue_wait"} 1`,
+		"rap_scans_total 1",
+		"rap_scan_matches_total 2",
+		`# TYPE rap_reconfig_updates_total counter`,
+		"rap_reconfig_updates_total 0",
+		"rap_cache_misses_total 1",
+		`rap_program_scans_total{program="` + comp.ProgramID + `"} 1`,
+		"rap_build_info{",
+		"rap_process_uptime_seconds",
+	} {
+		if !strings.Contains(string(metricsText), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// A hot-swap moves the reconfig counters and the apply-stage histogram.
+	body, _ = json.Marshal(compileRequest{Patterns: []string{"dog"}})
+	var upd UpdateResult
+	if resp := doJSON(t, client, "PUT", srv.URL+"/programs/"+comp.ProgramID, body, &upd); resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	req, _ = http.NewRequest("GET", srv.URL+"/metrics", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"rap_reconfig_updates_total 1",
+		`rap_stage_duration_us_count{stage="reconfig_apply"} 1`,
+		"rap_reconfig_stall_window_cycles_count 1",
+		"rap_reconfig_delta_size_bytes_count 1",
+		`rap_program_generation{program="` + comp.ProgramID + `"} 1`,
+	} {
+		if !strings.Contains(string(metricsText), want) {
+			t.Errorf("/metrics after update missing %q", want)
+		}
+	}
+
+	// /stats: no-store plus build identity.
+	req, _ = http.NewRequest("GET", srv.URL+"/stats", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/stats Cache-Control = %q", cc)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Build.GoVersion == "" {
+		t.Error("/stats build info missing go version")
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("/stats uptime = %v", st.UptimeSeconds)
+	}
+	if st.Stages["scan"].Count != 1 {
+		t.Errorf("/stats scan stage count = %d, want 1", st.Stages["scan"].Count)
+	}
+}
+
+// lockedWriter serializes writes so the slog handler and the test's
+// reads cannot race on the buffer.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }
 
 func fromJSON(ms []matchJSON) []refmatch.Match {

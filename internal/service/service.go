@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,6 +13,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/refmatch"
+	"repro/internal/telemetry"
 )
 
 // Errors surfaced by the service API.
@@ -32,6 +35,16 @@ type Config struct {
 	ProgramCacheSize int
 	// MaxSessions caps concurrently open sessions; default 4096.
 	MaxSessions int
+	// Logger receives one structured access-log line per HTTP request
+	// (method, path, status, bytes, duration, trace ID). nil disables
+	// access logging; tracing and metrics stay on.
+	Logger *slog.Logger
+	// TraceRing caps how many finished traces /debug/traces retains;
+	// default 128.
+	TraceRing int
+	// SlowTrace retains only traces at least this slow in the ring;
+	// 0 (the default) retains every finished trace.
+	SlowTrace time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -47,15 +60,23 @@ func (c *Config) setDefaults() {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 4096
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 128
+	}
 }
 
 // Service is the multi-tenant match service: program cache + session
-// table + sharded worker pool. All methods are safe for concurrent use.
+// table + sharded worker pool, instrumented end to end — every stage of
+// a request (cache lookup, compile, queue wait, scan, reconfig apply)
+// lands in a labeled histogram on the telemetry registry and as a span
+// on the ambient request trace. All methods are safe for concurrent use.
 type Service struct {
-	cfg   Config
-	cache *programCache
-	pool  *pool
-	start time.Time
+	cfg    Config
+	cache  *programCache
+	pool   *pool
+	start  time.Time
+	tel    *telemetry.Registry
+	tracer *telemetry.Tracer
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -63,51 +84,74 @@ type Service struct {
 	nextFlow atomic.Uint64
 	nextSess atomic.Uint64
 
-	scanLatency metrics.Histogram
-	scans       metrics.Counter
-	scanBytes   metrics.Counter
-	scanMatches metrics.Counter
-	opened      metrics.Counter
-	closedCount metrics.Counter
+	// Per-stage latency histograms: one family, one series per stage.
+	stageCacheLookup *metrics.Histogram
+	stageCompile     *metrics.Histogram
+	stageQueueWait   *metrics.Histogram
+	stageScan        *metrics.Histogram
+	stageApply       *metrics.Histogram
+
+	scans       *metrics.Counter
+	scanBytes   *metrics.Counter
+	scanMatches *metrics.Counter
+	opened      *metrics.Counter
+	closedCount *metrics.Counter
 
 	// Live-reconfiguration counters (Service.Update).
 	updateMu           sync.Mutex // serializes hot-swaps
-	updateLatency      metrics.Histogram
-	updates            metrics.Counter
-	updateDeltaBytes   metrics.Counter
-	updateFullBytes    metrics.Counter
-	updateReloadCycles metrics.Counter
-	updateStallCycles  metrics.Counter
+	updates            *metrics.Counter
+	updateDeltaBytes   *metrics.Counter
+	updateFullBytes    *metrics.Counter
+	updateReloadCycles *metrics.Counter
+	updateStallCycles  *metrics.Counter
+	updateStallHist    *metrics.Histogram // stall window per update, cycles
+	updateDeltaHist    *metrics.Histogram // delta bitstream size per update, bytes
 }
 
 // New creates a started service; Close releases its workers.
 func New(cfg Config) *Service {
 	cfg.setDefaults()
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		cache:    newProgramCache(cfg.ProgramCacheSize),
 		pool:     newPool(cfg.Workers, cfg.QueueDepth),
 		start:    time.Now(),
+		tel:      telemetry.NewRegistry(),
+		tracer:   telemetry.NewTracer(cfg.TraceRing, cfg.SlowTrace),
 		sessions: map[string]*session{},
 	}
+	s.registerMetrics()
+	return s
 }
 
 // Close stops the worker pool. Outstanding queued tasks are drained.
 func (s *Service) Close() { s.pool.close() }
 
+// observeStage folds one completed request stage into its latency
+// histogram and, when the request carries a trace, into its span list.
+func observeStage(h *metrics.Histogram, tr *telemetry.Trace, name string, start time.Time) {
+	d := time.Since(start)
+	h.Observe(d)
+	tr.AddSpan(name, start, d)
+}
+
 // Compile returns the program for (patterns, opts), compiling at most
 // once per distinct content hash. The bool reports whether the request
 // was served without a fresh compile (cache hit or single-flight join).
-func (s *Service) Compile(patterns []string, opts CompileOptions) (*Program, bool, error) {
+func (s *Service) Compile(ctx context.Context, patterns []string, opts CompileOptions) (*Program, bool, error) {
 	if len(patterns) == 0 {
 		return nil, false, fmt.Errorf("service: empty pattern list")
 	}
+	tr := telemetry.TraceFromContext(ctx)
 	key := programKey(patterns, opts)
-	return s.cache.getOrCompile(key, func() (*Program, error) {
+	lookup := time.Now()
+	prog, hit, err := s.cache.getOrCompile(key, func() (*Program, error) {
+		compileStart := time.Now()
 		m, err := refmatch.CompileWithOptions(patterns, opts.refmatch())
 		if err != nil {
 			return nil, err
 		}
+		observeStage(s.stageCompile, tr, "compile", compileStart)
 		return &Program{
 			ID:        key,
 			Patterns:  append([]string(nil), patterns...),
@@ -116,16 +160,31 @@ func (s *Service) Compile(patterns []string, opts CompileOptions) (*Program, boo
 			Opts:      opts,
 		}, nil
 	})
+	if err == nil && hit {
+		observeStage(s.stageCacheLookup, tr, "cache_lookup", lookup)
+	}
+	return prog, hit, err
 }
 
 // Program returns a cached program by ID.
 func (s *Service) Program(id string) (*Program, bool) { return s.cache.get(id) }
 
-// runOn executes fn on the pool shard of flow and waits for it.
-func (s *Service) runOn(flow uint64, fn func()) error {
+// lookup resolves a program ID, timing the cache lookup stage.
+func (s *Service) lookup(tr *telemetry.Trace, programID string) (*Program, bool) {
+	start := time.Now()
+	prog, ok := s.cache.get(programID)
+	observeStage(s.stageCacheLookup, tr, "cache_lookup", start)
+	return prog, ok
+}
+
+// runOn executes fn on the pool shard of flow and waits for it. The gap
+// between submission and execution is the queue-wait stage.
+func (s *Service) runOn(tr *telemetry.Trace, flow uint64, fn func()) error {
+	enqueued := time.Now()
 	done := make(chan struct{})
 	if err := s.pool.submit(flow, func() {
 		defer close(done)
+		observeStage(s.stageQueueWait, tr, "queue_wait", enqueued)
 		fn()
 	}); err != nil {
 		return err
@@ -137,16 +196,17 @@ func (s *Service) runOn(flow uint64, fn func()) error {
 // Scan runs a one-shot whole-buffer scan of data against a cached
 // program, dispatched through the worker pool (so it shares queueing,
 // backpressure and accounting with streaming traffic).
-func (s *Service) Scan(programID string, data []byte) ([]refmatch.Match, error) {
-	prog, ok := s.cache.get(programID)
+func (s *Service) Scan(ctx context.Context, programID string, data []byte) ([]refmatch.Match, error) {
+	tr := telemetry.TraceFromContext(ctx)
+	prog, ok := s.lookup(tr, programID)
 	if !ok {
 		return nil, fmt.Errorf("%w: program %s", ErrNotFound, programID)
 	}
 	var matches []refmatch.Match
-	t0 := time.Now()
-	err := s.runOn(s.nextFlow.Add(1), func() {
+	err := s.runOn(tr, s.nextFlow.Add(1), func() {
+		scanStart := time.Now()
 		matches = prog.Matcher.Scan(data)
-		s.scanLatency.Observe(time.Since(t0))
+		observeStage(s.stageScan, tr, "scan", scanStart)
 	})
 	if err != nil {
 		return nil, err
@@ -157,8 +217,9 @@ func (s *Service) Scan(programID string, data []byte) ([]refmatch.Match, error) 
 
 // OpenSession opens a streaming session against a cached program and
 // returns its ID.
-func (s *Service) OpenSession(programID string) (string, error) {
-	prog, ok := s.cache.get(programID)
+func (s *Service) OpenSession(ctx context.Context, programID string) (string, error) {
+	tr := telemetry.TraceFromContext(ctx)
+	prog, ok := s.lookup(tr, programID)
 	if !ok {
 		return "", fmt.Errorf("%w: program %s", ErrNotFound, programID)
 	}
@@ -194,21 +255,22 @@ func (s *Service) session(id string) (*session, error) {
 // Feed streams the next chunk into a session and returns the matches
 // ending inside it (global stream offsets). Matches of end-anchored
 // patterns arrive from CloseSession, when the stream end is known.
-func (s *Service) Feed(sessionID string, chunk []byte) ([]refmatch.Match, error) {
+func (s *Service) Feed(ctx context.Context, sessionID string, chunk []byte) ([]refmatch.Match, error) {
 	sess, err := s.session(sessionID)
 	if err != nil {
 		return nil, err
 	}
+	tr := telemetry.TraceFromContext(ctx)
 	var matches []refmatch.Match
 	closed := false
-	t0 := time.Now()
-	err = s.runOn(sess.flow, func() {
+	err = s.runOn(tr, sess.flow, func() {
 		if sess.closed {
 			closed = true
 			return
 		}
+		scanStart := time.Now()
 		matches = sess.stream.Feed(chunk)
-		s.scanLatency.Observe(time.Since(t0))
+		observeStage(s.stageScan, tr, "scan", scanStart)
 	})
 	if err != nil {
 		return nil, err
@@ -223,20 +285,23 @@ func (s *Service) Feed(sessionID string, chunk []byte) ([]refmatch.Match, error)
 
 // CloseSession ends the stream: it returns the end-anchored matches that
 // fired at the final byte, plus the session's totals, and frees the slot.
-func (s *Service) CloseSession(sessionID string) ([]refmatch.Match, SessionSummary, error) {
+func (s *Service) CloseSession(ctx context.Context, sessionID string) ([]refmatch.Match, SessionSummary, error) {
 	sess, err := s.session(sessionID)
 	if err != nil {
 		return nil, SessionSummary{}, err
 	}
+	tr := telemetry.TraceFromContext(ctx)
 	var final []refmatch.Match
 	closed := false
-	err = s.runOn(sess.flow, func() {
+	err = s.runOn(tr, sess.flow, func() {
 		if sess.closed {
 			closed = true
 			return
 		}
 		sess.closed = true
+		finishStart := time.Now()
 		final = sess.stream.Finish()
+		tr.AddSpan("finish", finishStart, time.Since(finishStart))
 	})
 	if err != nil {
 		return nil, SessionSummary{}, err
@@ -276,7 +341,7 @@ func (s *Service) DrainSessions() []DrainedSession {
 	out := make([]DrainedSession, 0, len(ids))
 	for _, id := range ids {
 		for {
-			final, sum, err := s.CloseSession(id)
+			final, sum, err := s.CloseSession(context.Background(), id)
 			if errors.Is(err, ErrQueueFull) {
 				time.Sleep(time.Millisecond)
 				continue
@@ -307,16 +372,18 @@ func (s *Service) account(prog *Program, sess *session, nbytes, nmatches int) {
 
 // Stats is the full JSON snapshot served by /stats.
 type Stats struct {
-	UptimeSeconds float64                   `json:"uptime_seconds"`
-	Scans         int64                     `json:"scans"`
-	ScanBytes     int64                     `json:"scan_bytes"`
-	ScanMatches   int64                     `json:"scan_matches"`
-	ScanLatency   metrics.HistogramSnapshot `json:"scan_latency"`
-	Cache         CacheStats                `json:"cache"`
-	Pool          PoolStats                 `json:"pool"`
-	Sessions      SessionStats              `json:"sessions"`
-	Reconfig      ReconfigStats             `json:"reconfig"`
-	Programs      []ProgramStats            `json:"programs"`
+	UptimeSeconds float64                              `json:"uptime_seconds"`
+	Build         telemetry.BuildInfo                  `json:"build"`
+	Scans         int64                                `json:"scans"`
+	ScanBytes     int64                                `json:"scan_bytes"`
+	ScanMatches   int64                                `json:"scan_matches"`
+	ScanLatency   metrics.HistogramSnapshot            `json:"scan_latency"`
+	Stages        map[string]metrics.HistogramSnapshot `json:"stages"`
+	Cache         CacheStats                           `json:"cache"`
+	Pool          PoolStats                            `json:"pool"`
+	Sessions      SessionStats                         `json:"sessions"`
+	Reconfig      ReconfigStats                        `json:"reconfig"`
+	Programs      []ProgramStats                       `json:"programs"`
 }
 
 // ReconfigStats aggregates the live-reconfiguration counters: how many
@@ -329,6 +396,8 @@ type ReconfigStats struct {
 	ReloadCycles   int64                     `json:"reload_cycles"`
 	StallCycles    int64                     `json:"stall_cycles"`
 	UpdateLatency  metrics.HistogramSnapshot `json:"update_latency"`
+	StallWindow    metrics.HistogramSnapshot `json:"stall_window_cycles"`
+	DeltaSize      metrics.HistogramSnapshot `json:"delta_size_bytes"`
 }
 
 // Stats snapshots every counter in the service.
@@ -338,12 +407,20 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         telemetry.Build(),
 		Scans:         s.scans.Value(),
 		ScanBytes:     s.scanBytes.Value(),
 		ScanMatches:   s.scanMatches.Value(),
-		ScanLatency:   s.scanLatency.Snapshot(),
-		Cache:         s.cache.stats(),
-		Pool:          s.pool.stats(),
+		ScanLatency:   s.stageScan.Snapshot(),
+		Stages: map[string]metrics.HistogramSnapshot{
+			"cache_lookup":   s.stageCacheLookup.Snapshot(),
+			"compile":        s.stageCompile.Snapshot(),
+			"queue_wait":     s.stageQueueWait.Snapshot(),
+			"scan":           s.stageScan.Snapshot(),
+			"reconfig_apply": s.stageApply.Snapshot(),
+		},
+		Cache: s.cache.stats(),
+		Pool:  s.pool.stats(),
 		Sessions: SessionStats{
 			Open:   open,
 			Opened: s.opened.Value(),
@@ -355,7 +432,9 @@ func (s *Service) Stats() Stats {
 			FullImageBytes: s.updateFullBytes.Value(),
 			ReloadCycles:   s.updateReloadCycles.Value(),
 			StallCycles:    s.updateStallCycles.Value(),
-			UpdateLatency:  s.updateLatency.Snapshot(),
+			UpdateLatency:  s.stageApply.Snapshot(),
+			StallWindow:    s.updateStallHist.Snapshot(),
+			DeltaSize:      s.updateDeltaHist.Snapshot(),
 		},
 		Programs: s.cache.snapshot(),
 	}

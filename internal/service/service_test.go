@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -37,14 +38,14 @@ func TestCompileCacheHitAndKeying(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
 
-	p1, hit, err := s.Compile([]string{"cat", "ab{10,20}c"}, CompileOptions{})
+	p1, hit, err := s.Compile(context.Background(), []string{"cat", "ab{10,20}c"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hit {
 		t.Error("first compile reported as cache hit")
 	}
-	p2, hit, err := s.Compile([]string{"cat", "ab{10,20}c"}, CompileOptions{})
+	p2, hit, err := s.Compile(context.Background(), []string{"cat", "ab{10,20}c"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestCompileCacheHitAndKeying(t *testing.T) {
 		t.Error("cache hit returned a different program object")
 	}
 	// Explicit defaults hash like the zero options.
-	_, hit, err = s.Compile([]string{"cat", "ab{10,20}c"}, CompileOptions{UnfoldThreshold: 16})
+	_, hit, err = s.Compile(context.Background(), []string{"cat", "ab{10,20}c"}, CompileOptions{UnfoldThreshold: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestCompileCacheHitAndKeying(t *testing.T) {
 		t.Error("default-equivalent options missed the cache")
 	}
 	// Different options are a different program.
-	p3, hit, err := s.Compile([]string{"cat", "ab{10,20}c"}, CompileOptions{UnfoldThreshold: 30})
+	p3, hit, err := s.Compile(context.Background(), []string{"cat", "ab{10,20}c"}, CompileOptions{UnfoldThreshold: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,10 +134,10 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCompileErrorNotCached(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
-	if _, _, err := s.Compile([]string{"("}, CompileOptions{}); err == nil {
+	if _, _, err := s.Compile(context.Background(), []string{"("}, CompileOptions{}); err == nil {
 		t.Fatal("expected compile error")
 	}
-	if _, _, err := s.Compile([]string{"("}, CompileOptions{}); err == nil {
+	if _, _, err := s.Compile(context.Background(), []string{"("}, CompileOptions{}); err == nil {
 		t.Fatal("expected compile error again")
 	}
 	st := s.Stats()
@@ -222,7 +223,7 @@ func TestPoolFlowAffinityOrdering(t *testing.T) {
 func TestServiceScanAndSessionBasics(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
-	prog, _, err := s.Compile([]string{"cat", "end$"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"cat", "end$"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestServiceScanAndSessionBasics(t *testing.T) {
 	want := prog.Matcher.Scan(input)
 	sortMatches(want)
 
-	got, err := s.Scan(prog.ID, input)
+	got, err := s.Scan(context.Background(), prog.ID, input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,19 +240,19 @@ func TestServiceScanAndSessionBasics(t *testing.T) {
 		t.Errorf("service scan %v != direct %v", got, want)
 	}
 
-	id, err := s.OpenSession(prog.ID)
+	id, err := s.OpenSession(context.Background(), prog.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var streamed []refmatch.Match
 	for _, chunk := range [][]byte{input[:5], input[5:9], input[9:]} {
-		ms, err := s.Feed(id, chunk)
+		ms, err := s.Feed(context.Background(), id, chunk)
 		if err != nil {
 			t.Fatal(err)
 		}
 		streamed = append(streamed, ms...)
 	}
-	final, summary, err := s.CloseSession(id)
+	final, summary, err := s.CloseSession(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestServiceScanAndSessionBasics(t *testing.T) {
 	if summary.Bytes != int64(len(input)) || summary.Chunks != 3 {
 		t.Errorf("summary = %+v", summary)
 	}
-	if _, err := s.Feed(id, []byte("x")); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Feed(context.Background(), id, []byte("x")); !errors.Is(err, ErrNotFound) {
 		t.Errorf("feed after close err = %v", err)
 	}
 }
@@ -271,16 +272,16 @@ func TestServiceScanAndSessionBasics(t *testing.T) {
 func TestSessionLimit(t *testing.T) {
 	s := New(Config{Workers: 1, MaxSessions: 2})
 	defer s.Close()
-	prog, _, err := s.Compile([]string{"x"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"x"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := s.OpenSession(prog.ID); err != nil {
+		if _, err := s.OpenSession(context.Background(), prog.ID); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.OpenSession(prog.ID); !errors.Is(err, ErrSessionLimit) {
+	if _, err := s.OpenSession(context.Background(), prog.ID); !errors.Is(err, ErrSessionLimit) {
 		t.Errorf("err = %v, want ErrSessionLimit", err)
 	}
 }
@@ -288,10 +289,10 @@ func TestSessionLimit(t *testing.T) {
 func TestScanUnknownProgram(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
-	if _, err := s.Scan("nope", []byte("x")); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Scan(context.Background(), "nope", []byte("x")); !errors.Is(err, ErrNotFound) {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := s.OpenSession("nope"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.OpenSession(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -299,28 +300,28 @@ func TestScanUnknownProgram(t *testing.T) {
 func TestEvictedProgramSessionsKeepWorking(t *testing.T) {
 	s := New(Config{Workers: 1, ProgramCacheSize: 1})
 	defer s.Close()
-	p1, _, err := s.Compile([]string{"ab"}, CompileOptions{})
+	p1, _, err := s.Compile(context.Background(), []string{"ab"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := s.OpenSession(p1.ID)
+	id, err := s.OpenSession(context.Background(), p1.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Compile([]string{"cd"}, CompileOptions{}); err != nil {
+	if _, _, err := s.Compile(context.Background(), []string{"cd"}, CompileOptions{}); err != nil {
 		t.Fatal(err) // evicts p1
 	}
 	if _, ok := s.Program(p1.ID); ok {
 		t.Fatal("p1 should be evicted")
 	}
-	ms, err := s.Feed(id, []byte("xabx"))
+	ms, err := s.Feed(context.Background(), id, []byte("xabx"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ms) != 1 || ms[0].End != 2 {
 		t.Errorf("evicted-program session matches = %v", ms)
 	}
-	if _, err := s.Scan(p1.ID, []byte("ab")); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Scan(context.Background(), p1.ID, []byte("ab")); !errors.Is(err, ErrNotFound) {
 		t.Errorf("one-shot scan of evicted program err = %v", err)
 	}
 }
@@ -331,12 +332,12 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	// thread-safety acceptance test for the service layer.
 	s := New(Config{Workers: 4, QueueDepth: 256})
 	defer s.Close()
-	prog, _, err := s.Compile([]string{"cat", "d{3}g", "a(x|y)*b"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"cat", "d{3}g", "a(x|y)*b"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	input := []byte("the cat saw dddg and axyxb again and again")
-	want, err := s.Scan(prog.ID, input)
+	want, err := s.Scan(context.Background(), prog.ID, input)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,12 +352,12 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 			for rep := 0; rep < 10; rep++ {
 				switch g % 3 {
 				case 0: // recompile: always a cache hit
-					if _, hit, err := s.Compile([]string{"cat", "d{3}g", "a(x|y)*b"}, CompileOptions{}); err != nil || !hit {
+					if _, hit, err := s.Compile(context.Background(), []string{"cat", "d{3}g", "a(x|y)*b"}, CompileOptions{}); err != nil || !hit {
 						errCh <- fmt.Errorf("recompile hit=%v err=%v", hit, err)
 						return
 					}
 				case 1: // one-shot
-					got, err := s.Scan(prog.ID, input)
+					got, err := s.Scan(context.Background(), prog.ID, input)
 					if err != nil {
 						if errors.Is(err, ErrQueueFull) {
 							continue // valid backpressure under load
@@ -370,7 +371,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 						return
 					}
 				case 2: // streaming in 4 chunks
-					id, err := s.OpenSession(prog.ID)
+					id, err := s.OpenSession(context.Background(), prog.ID)
 					if err != nil {
 						errCh <- err
 						return
@@ -379,7 +380,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 					q := len(input) / 4
 					ok := true
 					for _, chunk := range [][]byte{input[:q], input[q : 2*q], input[2*q : 3*q], input[3*q:]} {
-						ms, err := s.Feed(id, chunk)
+						ms, err := s.Feed(context.Background(), id, chunk)
 						if err != nil {
 							if errors.Is(err, ErrQueueFull) {
 								ok = false
@@ -392,7 +393,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 					}
 					var final []refmatch.Match
 					for {
-						f, _, err := s.CloseSession(id)
+						f, _, err := s.CloseSession(context.Background(), id)
 						if errors.Is(err, ErrQueueFull) {
 							continue // must not leak the session slot
 						}

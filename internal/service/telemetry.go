@@ -1,0 +1,95 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// registerMetrics wires every service counter, gauge and histogram into
+// the telemetry registry under stable Prometheus names. Static
+// instruments (stage histograms, traffic counters) are registered once;
+// per-program series are emitted by a collector at scrape time, so the
+// label set tracks the live program cache through compiles, hot-swaps
+// and evictions without registration bookkeeping.
+func (s *Service) registerMetrics() {
+	r := s.tel
+
+	// Per-stage request latency: the serving analogue of the paper's
+	// per-component cost breakdowns (§3.3, Table 2).
+	const stageHelp = "Per-stage request latency in microseconds."
+	s.stageCacheLookup = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "cache_lookup"))
+	s.stageCompile = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "compile"))
+	s.stageQueueWait = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "queue_wait"))
+	s.stageScan = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "scan"))
+	s.stageApply = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "reconfig_apply"))
+
+	// Traffic totals.
+	s.scans = r.Counter("rap_scans_total", "One-shot scans plus streamed chunks processed.")
+	s.scanBytes = r.Counter("rap_scan_bytes_total", "Input bytes scanned.")
+	s.scanMatches = r.Counter("rap_scan_matches_total", "Matches reported.")
+
+	// Session table.
+	s.opened = r.Counter("rap_sessions_opened_total", "Streaming sessions opened.")
+	s.closedCount = r.Counter("rap_sessions_closed_total", "Streaming sessions closed.")
+	r.GaugeFunc("rap_sessions_open", "Streaming sessions currently open.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+
+	// Worker pool: queue depth is the live backpressure signal (the
+	// software analogue of the §3.3 input-FIFO occupancy).
+	r.RegisterGauge("rap_queue_depth", "Tasks queued across all worker shards.", &s.pool.queued)
+	r.RegisterCounter("rap_pool_tasks_submitted_total", "Tasks accepted by the worker pool.", &s.pool.submitted)
+	r.RegisterCounter("rap_pool_tasks_rejected_total", "Tasks rejected with queue-full backpressure.", &s.pool.rejected)
+	r.RegisterCounter("rap_pool_context_switches_total", "Worker flow changes between consecutive tasks.", &s.pool.switches)
+	r.GaugeFunc("rap_pool_workers", "Worker shard count.", func() float64 { return float64(len(s.pool.shards)) })
+	r.GaugeFunc("rap_queue_capacity", "Queue capacity per worker shard.", func() float64 {
+		return float64(s.pool.shards[0].q.Cap())
+	})
+
+	// Program cache.
+	r.RegisterCounter("rap_cache_hits_total", "Program cache hits.", &s.cache.hits)
+	r.RegisterCounter("rap_cache_coalesced_total", "Compiles joined in flight (single-flight).", &s.cache.coalesced)
+	r.RegisterCounter("rap_cache_misses_total", "Compiles started.", &s.cache.misses)
+	r.RegisterCounter("rap_cache_evictions_total", "Programs evicted from the LRU.", &s.cache.evictions)
+	r.GaugeFunc("rap_cache_size", "Programs currently cached.", func() float64 { return float64(s.cache.len()) })
+
+	// Live reconfiguration (Service.Update): totals plus per-update
+	// stall-window and delta-size distributions.
+	s.updates = r.Counter("rap_reconfig_updates_total", "Ruleset hot-swaps applied.")
+	s.updateDeltaBytes = r.Counter("rap_reconfig_delta_bytes_total", "Delta bitstream bytes shipped.")
+	s.updateFullBytes = r.Counter("rap_reconfig_full_image_bytes_total", "Full image bytes the deltas replaced.")
+	s.updateReloadCycles = r.Counter("rap_reconfig_reload_cycles_total", "Modeled fabric reload cycles.")
+	s.updateStallCycles = r.Counter("rap_reconfig_stall_cycles_total", "Modeled match-pipeline stall cycles.")
+	s.updateStallHist = r.Histogram("rap_reconfig_stall_window_cycles", "Stall window per hot-swap, in modeled cycles.")
+	s.updateDeltaHist = r.Histogram("rap_reconfig_delta_size_bytes", "Delta bitstream size per hot-swap, in bytes.")
+
+	// Process identity: uptime plus build info, so scrapes are
+	// attributable to a binary version.
+	r.GaugeFunc("rap_process_uptime_seconds", "Seconds since the service started.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	telemetry.RegisterBuildInfo(r)
+
+	// Per-program series, one label dimension over the live cache.
+	r.Collect(func(c *telemetry.Collector) {
+		for _, ps := range s.cache.snapshot() {
+			lbl := telemetry.L("program", ps.ID)
+			c.Counter("rap_program_scans_total", "Scans and chunks per program.", float64(ps.Scans), lbl)
+			c.Counter("rap_program_scan_bytes_total", "Bytes scanned per program.", float64(ps.Bytes), lbl)
+			c.Counter("rap_program_matches_total", "Matches per program.", float64(ps.Matches), lbl)
+			c.Counter("rap_program_sessions_total", "Sessions ever opened per program.", float64(ps.Sessions), lbl)
+			c.Gauge("rap_program_generation", "Hot-swap generation per program (0 = initial deploy).", float64(ps.Generation), lbl)
+		}
+	})
+}
+
+// Telemetry returns the service's metric registry, so binaries can
+// register additional collectors (e.g. Go runtime metrics) on the same
+// /metrics endpoint.
+func (s *Service) Telemetry() *telemetry.Registry { return s.tel }
+
+// Tracer returns the service's request tracer.
+func (s *Service) Tracer() *telemetry.Tracer { return s.tracer }

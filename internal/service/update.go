@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/reconfig"
 	"repro/internal/refmatch"
+	"repro/internal/telemetry"
 )
 
 // UpdateResult reports one ruleset hot-swap: the delta bitstream the
@@ -60,23 +62,27 @@ func buildImage(patterns []string, opts CompileOptions) (*bitstream.Image, error
 // until they close; new sessions and one-shot scans see the new ruleset
 // from the moment Update returns. This mirrors the hardware semantics of
 // SimulateRAPReconfig: no automaton state migrates across the swap.
-func (s *Service) Update(programID string, patterns []string, opts CompileOptions) (*UpdateResult, error) {
+func (s *Service) Update(ctx context.Context, programID string, patterns []string, opts CompileOptions) (*UpdateResult, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("service: empty pattern list")
 	}
+	tr := telemetry.TraceFromContext(ctx)
 	// Serialize updates so concurrent swaps of one ID cannot interleave
 	// their read-modify-replace and lose a generation.
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
-	old, ok := s.cache.get(programID)
+	old, ok := s.lookup(tr, programID)
 	if !ok {
 		return nil, fmt.Errorf("%w: program %s", ErrNotFound, programID)
 	}
 	t0 := time.Now()
+	compileStart := time.Now()
 	m, err := refmatch.CompileWithOptions(patterns, opts.refmatch())
 	if err != nil {
 		return nil, err
 	}
+	observeStage(s.stageCompile, tr, "compile", compileStart)
+	imageEnd := tr.StartSpan("image_build")
 	oldImg, err := old.hwImage()
 	if err != nil {
 		return nil, fmt.Errorf("service: current deployment image: %w", err)
@@ -85,6 +91,8 @@ func (s *Service) Update(programID string, patterns []string, opts CompileOption
 	if err != nil {
 		return nil, fmt.Errorf("service: new deployment image: %w", err)
 	}
+	imageEnd()
+	diffEnd := tr.StartSpan("diff")
 	delta := reconfig.Diff(oldImg, newImg)
 	deltaData, err := delta.MarshalBinary()
 	if err != nil {
@@ -96,6 +104,7 @@ func (s *Service) Update(programID string, patterns []string, opts CompileOption
 	}
 	cost := reconfig.CostOf(delta)
 	full := reconfig.FullCost(newImg)
+	diffEnd()
 
 	next := &Program{
 		ID:         programID,
@@ -113,7 +122,9 @@ func (s *Service) Update(programID string, patterns []string, opts CompileOption
 	s.updateFullBytes.Add(int64(newImg.SizeBytes()))
 	s.updateReloadCycles.Add(cost.ReloadCycles)
 	s.updateStallCycles.Add(plan.StallCycles)
-	s.updateLatency.Observe(time.Since(t0))
+	s.updateStallHist.ObserveValue(plan.StallCycles)
+	s.updateDeltaHist.ObserveValue(int64(len(deltaData)))
+	observeStage(s.stageApply, tr, "reconfig_apply", t0)
 
 	return &UpdateResult{
 		ProgramID:        programID,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,11 +15,11 @@ import (
 func TestUpdateHotSwap(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
-	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"cat"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Update(prog.ID, []string{"dog"}, CompileOptions{})
+	res, err := s.Update(context.Background(), prog.ID, []string{"dog"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestUpdateHotSwap(t *testing.T) {
 		t.Errorf("incremental reload %d cycles not below full %d", res.ReloadCycles, res.FullReloadCycles)
 	}
 	// Scans against the same ID now run the new ruleset.
-	ms, err := s.Scan(prog.ID, []byte("cat dog"))
+	ms, err := s.Scan(context.Background(), prog.ID, []byte("cat dog"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestUpdateHotSwap(t *testing.T) {
 		t.Errorf("post-update scan matches = %v, want dog only", ms)
 	}
 	// A second update bumps the generation again.
-	res2, err := s.Update(prog.ID, []string{"bird"}, CompileOptions{})
+	res2, err := s.Update(context.Background(), prog.ID, []string{"bird"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func TestUpdateHotSwap(t *testing.T) {
 func TestUpdateIdenticalRulesetIsNearFree(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
-	prog, _, err := s.Compile([]string{"cat", "dog"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"cat", "dog"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Update(prog.ID, []string{"cat", "dog"}, CompileOptions{})
+	res, err := s.Update(context.Background(), prog.ID, []string{"cat", "dog"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,19 +86,19 @@ func TestUpdateIdenticalRulesetIsNearFree(t *testing.T) {
 func TestUpdatePinsOpenSessions(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
-	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"cat"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldSess, err := s.OpenSession(prog.ID)
+	oldSess, err := s.OpenSession(context.Background(), prog.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Update(prog.ID, []string{"dog"}, CompileOptions{}); err != nil {
+	if _, err := s.Update(context.Background(), prog.ID, []string{"dog"}, CompileOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// The pre-update session still runs the old ruleset.
-	ms, err := s.Feed(oldSess, []byte("cat dog"))
+	ms, err := s.Feed(context.Background(), oldSess, []byte("cat dog"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +106,11 @@ func TestUpdatePinsOpenSessions(t *testing.T) {
 		t.Errorf("pinned session matches = %v, want cat only", ms)
 	}
 	// A session opened after the update runs the new one.
-	newSess, err := s.OpenSession(prog.ID)
+	newSess, err := s.OpenSession(context.Background(), prog.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err = s.Feed(newSess, []byte("cat dog"))
+	ms, err = s.Feed(context.Background(), newSess, []byte("cat dog"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestUpdatePinsOpenSessions(t *testing.T) {
 		t.Errorf("new session matches = %v, want dog only", ms)
 	}
 	for _, id := range []string{oldSess, newSess} {
-		if _, _, err := s.CloseSession(id); err != nil {
+		if _, _, err := s.CloseSession(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -129,34 +130,34 @@ func TestUpdatedThenEvictedProgramStillServesOldSessions(t *testing.T) {
 	// pointer pins the pre-update matcher until CloseSession.
 	s := New(Config{Workers: 1, ProgramCacheSize: 1})
 	defer s.Close()
-	p1, _, err := s.Compile([]string{"ab"}, CompileOptions{})
+	p1, _, err := s.Compile(context.Background(), []string{"ab"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := s.OpenSession(p1.ID)
+	id, err := s.OpenSession(context.Background(), p1.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Update(p1.ID, []string{"cd"}, CompileOptions{}); err != nil {
+	if _, err := s.Update(context.Background(), p1.ID, []string{"cd"}, CompileOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Compile([]string{"ef"}, CompileOptions{}); err != nil {
+	if _, _, err := s.Compile(context.Background(), []string{"ef"}, CompileOptions{}); err != nil {
 		t.Fatal(err) // evicts the updated program behind p1.ID
 	}
 	if _, ok := s.Program(p1.ID); ok {
 		t.Fatal("updated program should be evicted")
 	}
-	ms, err := s.Feed(id, []byte("xabx then cd"))
+	ms, err := s.Feed(context.Background(), id, []byte("xabx then cd"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ms) != 1 || ms[0].End != 2 {
 		t.Errorf("evicted+updated session matches = %v, want pre-update ab", ms)
 	}
-	if _, _, err := s.CloseSession(id); err != nil {
+	if _, _, err := s.CloseSession(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Update(p1.ID, []string{"gh"}, CompileOptions{}); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Update(context.Background(), p1.ID, []string{"gh"}, CompileOptions{}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("update of evicted ID err = %v", err)
 	}
 }
@@ -164,21 +165,21 @@ func TestUpdatedThenEvictedProgramStillServesOldSessions(t *testing.T) {
 func TestUpdateErrors(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
-	if _, err := s.Update("nope", []string{"x"}, CompileOptions{}); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Update(context.Background(), "nope", []string{"x"}, CompileOptions{}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("unknown program err = %v", err)
 	}
-	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"cat"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Update(prog.ID, nil, CompileOptions{}); err == nil {
+	if _, err := s.Update(context.Background(), prog.ID, nil, CompileOptions{}); err == nil {
 		t.Error("empty pattern list accepted")
 	}
-	if _, err := s.Update(prog.ID, []string{"("}, CompileOptions{}); err == nil {
+	if _, err := s.Update(context.Background(), prog.ID, []string{"("}, CompileOptions{}); err == nil {
 		t.Error("invalid pattern accepted")
 	}
 	// A failed update must leave the old ruleset serving.
-	ms, err := s.Scan(prog.ID, []byte("cat"))
+	ms, err := s.Scan(context.Background(), prog.ID, []byte("cat"))
 	if err != nil || len(ms) != 1 {
 		t.Errorf("program damaged by failed update: ms=%v err=%v", ms, err)
 	}
@@ -194,14 +195,14 @@ func TestUpdateConcurrentFeed(t *testing.T) {
 	// throughout; scans after the last update see the final one.
 	s := New(Config{Workers: 4, QueueDepth: 256})
 	defer s.Close()
-	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"cat"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	const feeders = 8
 	ids := make([]string, feeders)
 	for i := range ids {
-		if ids[i], err = s.OpenSession(prog.ID); err != nil {
+		if ids[i], err = s.OpenSession(context.Background(), prog.ID); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -212,7 +213,7 @@ func TestUpdateConcurrentFeed(t *testing.T) {
 		go func(id string) {
 			defer wg.Done()
 			for rep := 0; rep < 20; rep++ {
-				ms, err := s.Feed(id, []byte("xcatx"))
+				ms, err := s.Feed(context.Background(), id, []byte("xcatx"))
 				if err != nil {
 					if errors.Is(err, ErrQueueFull) {
 						continue
@@ -229,7 +230,7 @@ func TestUpdateConcurrentFeed(t *testing.T) {
 	}
 	rulesets := [][]string{{"dog"}, {"bird"}, {"dog"}, {"fish"}}
 	for _, rs := range rulesets {
-		if _, err := s.Update(prog.ID, rs, CompileOptions{}); err != nil {
+		if _, err := s.Update(context.Background(), prog.ID, rs, CompileOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -239,11 +240,11 @@ func TestUpdateConcurrentFeed(t *testing.T) {
 		t.Error(err)
 	}
 	for _, id := range ids {
-		if _, _, err := s.CloseSession(id); err != nil {
+		if _, _, err := s.CloseSession(context.Background(), id); err != nil {
 			t.Fatal(err)
 		}
 	}
-	ms, err := s.Scan(prog.ID, []byte("cat dog fish"))
+	ms, err := s.Scan(context.Background(), prog.ID, []byte("cat dog fish"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestHTTPUpdate(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	prog, _, err := s.Compile([]string{"cat"}, CompileOptions{})
+	prog, _, err := s.Compile(context.Background(), []string{"cat"}, CompileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the binary identity reported by /stats and the
+// rap_build_info metric, so scrapes are attributable to a version.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the running binary's build info (cached after the first
+// call). Fields absent from the build — e.g. VCS stamps in `go test`
+// binaries — are left empty.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo exposes rap_build_info, the constant-1 gauge whose
+// labels identify the binary (the standard Prometheus build-info idiom).
+func RegisterBuildInfo(r *Registry) {
+	b := Build()
+	r.GaugeFunc("rap_build_info",
+		"Build identity of the serving binary; value is always 1.",
+		func() float64 { return 1 },
+		L("go_version", b.GoVersion),
+		L("version", b.Version),
+		L("revision", b.Revision),
+	)
+}
+
+// RegisterRuntimeMetrics exposes Go runtime health gauges — goroutines,
+// heap, GC — via one collector so each scrape pays a single
+// runtime.ReadMemStats.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.Collect(func(c *Collector) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		c.Gauge("go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+		c.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+		c.Gauge("go_heap_objects", "Number of allocated heap objects.", float64(ms.HeapObjects))
+		c.Gauge("go_sys_bytes", "Total bytes obtained from the OS.", float64(ms.Sys))
+		c.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+		c.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+		c.Gauge("go_gc_next_bytes", "Heap size target of the next GC cycle.", float64(ms.NextGC))
+	})
+}

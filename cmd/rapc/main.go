@@ -12,6 +12,13 @@
 //
 //	rapc -bitstream old.img 'cat' && rapc -bitstream new.img 'dog'
 //	rapc -diff old.img new.img
+//
+// With -explain it prints the software fast-path verdict per pattern:
+// whether the reference matcher runs it behind the mandatory-literal
+// prefilter (and with which literals) or on the always-on scan path, and
+// why.
+//
+//	rapc -explain 'ab.needle.*' '[a-z]+'
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"repro/internal/mnrl"
 	"repro/internal/patfile"
 	"repro/internal/reconfig"
+	"repro/internal/refmatch"
 	"repro/internal/regexast"
 	"repro/internal/sim"
 )
@@ -42,6 +50,7 @@ func main() {
 	floorplan := flag.Bool("floorplan", false, "print the ASCII tile floor plan of the placement")
 	bitstreamOut := flag.String("bitstream", "", "write the deployment configuration image to a file")
 	diff := flag.Bool("diff", false, "diff two image files (old.img new.img) into a reconfiguration delta")
+	explain := flag.Bool("explain", false, "print the per-pattern literal-prefilter verdict of the software fast path")
 	flag.Parse()
 
 	if *diff {
@@ -66,6 +75,11 @@ func main() {
 	if len(patterns) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: rapc [flags] pattern...   (or -f file)")
 		os.Exit(2)
+	}
+
+	if *explain {
+		explainPrefilter(patterns)
+		return
 	}
 
 	res := compile.Compile(patterns, compile.Options{UnfoldThreshold: *threshold})
@@ -136,6 +150,26 @@ func main() {
 	shares := res.ModeShares()
 	fmt.Printf("Mode shares: NFA %.0f%%, NBVA %.0f%%, LNFA %.0f%%\n",
 		100*shares[compile.ModeNFA], 100*shares[compile.ModeNBVA], 100*shares[compile.ModeLNFA])
+}
+
+// explainPrefilter compiles each pattern on its own through the software
+// reference matcher and prints its fast-path verdict: the mandatory
+// literal set gating it, or the reason it stays always-on. Per-pattern
+// compilation tolerates individual errors without losing the rest.
+func explainPrefilter(patterns []string) {
+	t := &metrics.Table{
+		Name:   "Fast-path verdicts (software reference matcher)",
+		Header: []string{"#", "Pattern", "Engine", "Fast path"},
+	}
+	for i, p := range patterns {
+		m, err := refmatch.Compile([]string{p})
+		if err != nil {
+			t.AddRow(i, truncate(p, 40), "ERROR", err.Error())
+			continue
+		}
+		t.AddRow(i, truncate(p, 40), m.Engines()[0].String(), m.PrefilterVerdicts()[0].String())
+	}
+	fmt.Println(t.String())
 }
 
 // diffImages loads two deployment images, computes the reconfiguration

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/refmatch"
+)
+
+// scanRounds is how many times each matcher sweeps the input; a few
+// rounds amortize timer noise while keeping the CI smoke run fast.
+const scanRounds = 6
+
+// ScanBench is the fast-path scan engine benchmark: the same literal-
+// bearing pattern set compiled with the mandatory-literal prefilter on
+// versus off, swept over an input with sparse planted matches — the
+// workload shape the fast path is built for (most patterns carry a
+// literal, most input bytes are match-free). `rapbench -exp scan -json
+// DIR` archives it as BENCH_scan.json; CI's bench-smoke job tracks the
+// speedup and skip ratio over time.
+func ScanBench(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+
+	// Deterministic literal-bearing rule set: every pattern embeds a
+	// distinct rare literal inside non-literal context, so the analysis
+	// prefilteres all of them while the automata stay non-trivial.
+	var patterns []string
+	for i := 0; i < 24; i++ {
+		patterns = append(patterns, fmt.Sprintf("[a-d]key%02d[e-h]", i))
+	}
+	m, err := refmatch.CompileWithOptions(patterns, refmatch.Options{})
+	if err != nil {
+		return nil, err
+	}
+	plain, err := refmatch.CompileWithOptions(patterns, refmatch.Options{DisablePrefilter: true})
+	if err != nil {
+		return nil, err
+	}
+	prefiltered := 0
+	for _, v := range m.PrefilterVerdicts() {
+		if v.Prefilterable {
+			prefiltered++
+		}
+	}
+
+	// Input: random lowercase noise with ~1 planted match per 4 KiB.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	input := make([]byte, cfg.InputLen)
+	for i := range input {
+		input[i] = byte('i' + rng.Intn(18)) // 'i'..'z': misses the [a-h] context classes
+	}
+	planted := 0
+	for p := 2048; p+12 < len(input); p += 4096 {
+		copy(input[p:], fmt.Sprintf("akey%02de", planted%24))
+		planted++
+	}
+
+	// Differential guard: the two paths must agree before being timed.
+	if got, want := len(m.Scan(input)), len(plain.Scan(input)); got != want {
+		return nil, fmt.Errorf("scan: prefiltered found %d matches, plain %d", got, want)
+	}
+
+	sweep := func(mm *refmatch.Matcher) (time.Duration, int) {
+		n := 0
+		start := time.Now()
+		for r := 0; r < scanRounds; r++ {
+			n = mm.Count(input)
+		}
+		return time.Since(start), n
+	}
+	sweep(m) // warm both paths
+	sweep(plain)
+	pfWall, pfMatches := sweep(m)
+	plainWall, _ := sweep(plain)
+
+	// Skip ratio from one session-level sweep.
+	sess := m.NewSession()
+	sess.Feed(input)
+	st := sess.PrefilterStats()
+	skipRatio := 0.0
+	if total := st.ScannedBytes + st.SkippedBytes; total > 0 {
+		skipRatio = float64(st.SkippedBytes) / float64(total)
+	}
+
+	mbps := func(wall time.Duration) float64 {
+		return float64(scanRounds) * float64(len(input)) / 1e6 / wall.Seconds()
+	}
+	t := &metrics.Table{
+		Name:   "Fast-path scan engine: literal prefilter + kernels vs always-on scan",
+		Header: []string{"Path", "Patterns", "Prefiltered", "Matches", "MB/s", "Skip %"},
+	}
+	t.AddRow("prefilter", len(patterns), prefiltered, pfMatches, mbps(pfWall), 100*skipRatio)
+	t.AddRow("always-on", len(patterns), 0, pfMatches, mbps(plainWall), 0.0)
+	t.AddRow("speedup", "-", "-", "-", mbps(pfWall)/mbps(plainWall), "-")
+	if err := cfg.saveTable(t, "scan_bench.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

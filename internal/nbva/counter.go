@@ -22,20 +22,28 @@ type CounterRunner struct {
 	m        *Machine
 	enabled  bitvec.Vector
 	initial  bitvec.Vector
-	counters map[int][]int // BV-STE state -> sorted counter values (ascending)
-	readOK   map[int]bool
+	counters [][]int // BV-STE state -> sorted counter values (ascending)
+	readOK   []bool
 	pos      int
+
+	// Per-Step scratch, reused so stepping stays allocation-free after
+	// the counter slices reach steady-state capacity.
+	matched bitvec.Vector
+	next    bitvec.Vector
 }
 
 // NewCounterRunner creates a counter-based runner in the initial
 // configuration.
 func NewCounterRunner(m *Machine) *CounterRunner {
+	n := len(m.States)
 	r := &CounterRunner{
 		m:        m,
-		enabled:  bitvec.New(len(m.States)),
-		initial:  bitvec.New(len(m.States)),
-		counters: map[int][]int{},
-		readOK:   map[int]bool{},
+		enabled:  bitvec.New(n),
+		initial:  bitvec.New(n),
+		counters: make([][]int, n),
+		readOK:   make([]bool, n),
+		matched:  bitvec.New(n),
+		next:     bitvec.New(n),
 	}
 	for _, q := range m.Initial {
 		r.initial.Set(q)
@@ -48,11 +56,11 @@ func NewCounterRunner(m *Machine) *CounterRunner {
 func (r *CounterRunner) Reset() {
 	r.enabled.Reset()
 	r.enabled.Or(r.initial)
-	for k := range r.counters {
-		delete(r.counters, k)
+	for i := range r.counters {
+		r.counters[i] = r.counters[i][:0]
 	}
-	for k := range r.readOK {
-		delete(r.readOK, k)
+	for i := range r.readOK {
+		r.readOK[i] = false
 	}
 	r.pos = 0
 }
@@ -60,19 +68,20 @@ func (r *CounterRunner) Reset() {
 // Step consumes one byte and reports whether a match ends at it.
 func (r *CounterRunner) Step(b byte) bool {
 	m := r.m
-	matched := map[int]bool{}
+	matched := r.matched
+	matched.Reset()
 	for i := range m.States {
 		s := &m.States[i]
 		if s.BV == nil {
 			if r.enabled.Get(i) && s.Class.Contains(b) {
-				matched[i] = true
+				matched.Set(i)
 			}
 			continue
 		}
 		vals := r.counters[i]
 		entry := r.enabled.Get(i)
 		if !s.Class.Contains(b) {
-			delete(r.counters, i)
+			r.counters[i] = vals[:0]
 			r.readOK[i] = false
 			continue
 		}
@@ -92,39 +101,35 @@ func (r *CounterRunner) Step(b byte) bool {
 		if entry {
 			next = insertSorted(next, 1)
 		}
+		r.counters[i] = next
 		if len(next) == 0 {
-			delete(r.counters, i)
 			r.readOK[i] = false
 			continue
 		}
-		r.counters[i] = next
 		switch s.BV.Read {
 		case ReadExact:
 			r.readOK[i] = containsSorted(next, s.BV.Size)
 		case ReadAll:
 			r.readOK[i] = true
 		}
-		matched[i] = true
+		matched.Set(i)
 	}
 	// Transition.
-	nextEnabled := bitvec.New(len(m.States))
+	r.next.Reset()
 	match := false
-	for i := range m.States {
-		if !matched[i] {
-			continue
-		}
+	for i := matched.NextSet(0); i >= 0; i = matched.NextSet(i + 1) {
 		s := &m.States[i]
 		if s.BV != nil && !r.readOK[i] {
 			continue
 		}
 		for _, q := range s.Follow {
-			nextEnabled.Set(q)
+			r.next.Set(q)
 		}
 		if isFinal(m, i) {
 			match = true
 		}
 	}
-	r.enabled = nextEnabled
+	r.enabled, r.next = r.next, r.enabled
 	if !m.StartAnchored {
 		r.enabled.Or(r.initial)
 	}
@@ -135,6 +140,9 @@ func (r *CounterRunner) Step(b byte) bool {
 // CounterSet returns the sorted counter values of a BV-STE (nil when
 // empty), for white-box tests.
 func (r *CounterRunner) CounterSet(state int) []int {
+	if len(r.counters[state]) == 0 {
+		return nil
+	}
 	return append([]int(nil), r.counters[state]...)
 }
 

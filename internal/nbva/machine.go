@@ -190,6 +190,9 @@ func NewRunner(m *Machine) *Runner {
 		}
 		r.labels[c] = v
 	}
+	// Step reuses this scratch; sizing it to the BV-STE count up front
+	// keeps the per-byte loop allocation-free.
+	r.lastBVUpdated = make([]int, 0, len(r.bvIdx))
 	r.Reset()
 	return r
 }

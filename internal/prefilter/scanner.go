@@ -1,0 +1,143 @@
+package prefilter
+
+import "fmt"
+
+// Set is the compiled candidate scanner for the union of every
+// prefiltered pattern's mandatory literals. It is immutable after
+// NewSet and shared read-only by all streams, like the Machine it gates.
+//
+// Three representations, picked at compile time:
+//   - one distinct single byte  -> memchr-style skip loop (bytes.IndexByte)
+//   - all literals single bytes -> 256-entry membership table
+//   - anything else             -> dense Aho-Corasick DFA over the trie
+type Set struct {
+	window int // longest prefiltered pattern length, in states/bytes
+
+	single    byte // memchr fast path when hasSingle
+	hasSingle bool
+
+	oneByte  bool // all literals are single bytes: table loop
+	byteMask [256]bool
+
+	// Aho-Corasick DFA: next[s][b] is the successor state, out[s] reports
+	// a literal ending at s (directly or along the fail chain).
+	next [][256]int32
+	out  []bool
+}
+
+// NewSet compiles the candidate scanner. window is the longest
+// prefiltered pattern length in bytes (>= 1); every literal must be
+// non-empty and no longer than window.
+func NewSet(lits [][]byte, window int) (*Set, error) {
+	if len(lits) == 0 {
+		return nil, fmt.Errorf("prefilter: empty literal set")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("prefilter: window %d < 1", window)
+	}
+	s := &Set{window: window}
+	allOne := true
+	for _, l := range lits {
+		if len(l) == 0 {
+			return nil, fmt.Errorf("prefilter: empty literal")
+		}
+		if len(l) > window {
+			return nil, fmt.Errorf("prefilter: literal %q longer than window %d", l, window)
+		}
+		if len(l) != 1 {
+			allOne = false
+		}
+	}
+	if allOne {
+		s.oneByte = true
+		distinct := 0
+		for _, l := range lits {
+			if !s.byteMask[l[0]] {
+				s.byteMask[l[0]] = true
+				distinct++
+				s.single = l[0]
+			}
+		}
+		s.hasSingle = distinct == 1
+		return s, nil
+	}
+	s.buildAC(lits)
+	return s, nil
+}
+
+// Window returns the window radius the set was compiled for.
+func (s *Set) Window() int { return s.window }
+
+// buildAC constructs the goto trie, resolves fail links breadth-first and
+// flattens everything into a dense DFA (next fully resolved, out folded
+// along fail chains).
+func (s *Set) buildAC(lits [][]byte) {
+	type node struct {
+		child [256]int32 // 0 = absent (state 0 is the root)
+		out   bool
+		fail  int32
+	}
+	nodes := []node{{}}
+	for _, l := range lits {
+		cur := int32(0)
+		for _, b := range l {
+			nxt := nodes[cur].child[b]
+			if nxt == 0 {
+				nodes = append(nodes, node{})
+				nxt = int32(len(nodes) - 1)
+				nodes[cur].child[b] = nxt
+			}
+			cur = nxt
+		}
+		nodes[cur].out = true
+	}
+	// BFS fail links; fold out bits so a hit at any suffix reports.
+	queue := make([]int32, 0, len(nodes))
+	for b := 0; b < 256; b++ {
+		if c := nodes[0].child[b]; c != 0 {
+			queue = append(queue, c)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for b := 0; b < 256; b++ {
+			c := nodes[u].child[b]
+			if c == 0 {
+				continue
+			}
+			f := nodes[u].fail
+			for f != 0 && nodes[f].child[b] == 0 {
+				f = nodes[f].fail
+			}
+			nodes[c].fail = nodes[f].child[b] // root's missing edges are 0
+			if nodes[c].fail == c {
+				nodes[c].fail = 0
+			}
+			if nodes[nodes[c].fail].out {
+				nodes[c].out = true
+			}
+			queue = append(queue, c)
+		}
+	}
+	// Flatten to a DFA: missing edges follow the fail chain.
+	s.next = make([][256]int32, len(nodes))
+	s.out = make([]bool, len(nodes))
+	for qi := -1; qi < len(queue); qi++ { // root first, then BFS order
+		u := int32(0)
+		if qi >= 0 {
+			u = queue[qi]
+		}
+		s.out[u] = nodes[u].out
+		for b := 0; b < 256; b++ {
+			if c := nodes[u].child[b]; c != 0 {
+				s.next[u][b] = c
+			} else if u != 0 {
+				s.next[u][b] = s.next[nodes[u].fail][b]
+			}
+		}
+	}
+}
+
+// States returns the number of DFA states (0 for the byte-table paths),
+// for tests and capacity reporting.
+func (s *Set) States() int { return len(s.next) }

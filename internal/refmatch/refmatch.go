@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/nbva"
+	"repro/internal/prefilter"
 	"repro/internal/regexast"
 	"repro/internal/shiftand"
 )
@@ -66,6 +67,10 @@ type Options struct {
 	// patterns; patterns whose subset construction exceeds it run as
 	// NFAs. 0 means 2048; negative disables the DFA path.
 	DFAStateCap int
+	// DisablePrefilter forces every Shift-And pattern onto the always-on
+	// scan path, bypassing the mandatory-literal prefilter. The
+	// differential tests compare the two paths for identical match sets.
+	DisablePrefilter bool
 }
 
 func (o *Options) setDefaults() {
@@ -88,8 +93,12 @@ func (o *Options) setDefaults() {
 // canonical form. Program caches key on it together with the patterns.
 func (o Options) Canonical() string {
 	o.setDefaults()
-	return fmt.Sprintf("refmatch/v1|lbf=%d|ut=%d|mns=%d|dfa=%d",
-		o.LinearBudgetFactor, o.UnfoldThreshold, o.MaxNFAStates, o.DFAStateCap)
+	pf := 1
+	if o.DisablePrefilter {
+		pf = 0
+	}
+	return fmt.Sprintf("refmatch/v2|lbf=%d|ut=%d|mns=%d|dfa=%d|pf=%d",
+		o.LinearBudgetFactor, o.UnfoldThreshold, o.MaxNFAStates, o.DFAStateCap, pf)
 }
 
 // Match reports a pattern match ending at byte offset End of the scanned
@@ -104,8 +113,18 @@ type Matcher struct {
 	patterns []string
 	engines  []Engine
 
+	// Always-on Shift-And machine: linear patterns without a usable
+	// mandatory-literal set step every input byte.
 	sa        *shiftand.Machine // packed linear patterns, nil if none
 	saPattern []int             // shift-and pattern index -> global index
+
+	// Prefiltered Shift-And machine: linear patterns whose mandatory
+	// literals gate the automaton to candidate windows around hits.
+	saFast        *shiftand.Machine
+	saFastPattern []int
+	pf            *prefilter.Set
+
+	verdicts []prefilter.Verdict // per global pattern
 
 	nbvas   []*nbva.Machine
 	nbvaIdx []int
@@ -125,8 +144,14 @@ func Compile(patterns []string) (*Matcher, error) {
 // CompileWithOptions builds a matcher with explicit options.
 func CompileWithOptions(patterns []string, opts Options) (*Matcher, error) {
 	opts.setDefaults()
-	m := &Matcher{patterns: patterns, engines: make([]Engine, len(patterns))}
-	var saPats []shiftand.Pattern
+	m := &Matcher{
+		patterns: patterns,
+		engines:  make([]Engine, len(patterns)),
+		verdicts: make([]prefilter.Verdict, len(patterns)),
+	}
+	var saPats, saFastPats []shiftand.Pattern
+	var pfLits [][]byte
+	pfWindow := 0
 	for i, p := range patterns {
 		re, err := regexast.Parse(p)
 		if err != nil {
@@ -140,10 +165,27 @@ func CompileWithOptions(patterns []string, opts Options) (*Matcher, error) {
 			if err != nil {
 				return nil, fmt.Errorf("refmatch: pattern %d linearize: %w", i, err)
 			}
-			for _, s := range seqs {
-				saPats = append(saPats, shiftand.Pattern(s))
-				m.saPattern = append(m.saPattern, i)
+			// Fast-path decision: a pattern with a mandatory literal set
+			// joins the prefiltered machine; the rest stay always-on.
+			var lits [][]byte
+			if opts.DisablePrefilter {
+				m.verdicts[i] = prefilter.Verdict{Reason: "prefilter disabled by options"}
+			} else {
+				lits, m.verdicts[i] = prefilter.Analyze(re.Root)
 			}
+			for _, s := range seqs {
+				if lits != nil {
+					saFastPats = append(saFastPats, shiftand.Pattern(s))
+					m.saFastPattern = append(m.saFastPattern, i)
+					if len(s) > pfWindow {
+						pfWindow = len(s)
+					}
+				} else {
+					saPats = append(saPats, shiftand.Pattern(s))
+					m.saPattern = append(m.saPattern, i)
+				}
+			}
+			pfLits = append(pfLits, lits...)
 		case EngineNBVA:
 			root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
 			mach, err := nbva.ConstructFromNode(root)
@@ -174,12 +216,31 @@ func CompileWithOptions(patterns []string, opts Options) (*Matcher, error) {
 			m.nfaIdx = append(m.nfaIdx, i)
 		}
 	}
+	// Non-Shift-And engines step every byte; record that as the verdict
+	// after the final engine decision (the NFA->DFA upgrade included).
+	for i, e := range m.engines {
+		if e != EngineShiftAnd {
+			m.verdicts[i] = prefilter.Verdict{Reason: "engine " + e.String() + " is always-on"}
+		}
+	}
 	if len(saPats) > 0 {
 		sa, err := shiftand.New(saPats)
 		if err != nil {
 			return nil, err
 		}
 		m.sa = sa
+	}
+	if len(saFastPats) > 0 {
+		sa, err := shiftand.New(saFastPats)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := prefilter.NewSet(pfLits, pfWindow)
+		if err != nil {
+			return nil, fmt.Errorf("refmatch: prefilter: %w", err)
+		}
+		m.saFast = sa
+		m.pf = pf
 	}
 	return m, nil
 }
@@ -207,6 +268,14 @@ func choose(re *regexast.Regex, opts Options) Engine {
 
 // Engines returns the engine chosen for each pattern.
 func (m *Matcher) Engines() []Engine { return m.engines }
+
+// PrefilterVerdicts returns the per-pattern prefilter decision: whether
+// the pattern runs behind the literal prefilter, with its literal set or
+// the fallback reason.
+func (m *Matcher) PrefilterVerdicts() []prefilter.Verdict { return m.verdicts }
+
+// HasPrefilter reports whether any pattern runs on the prefiltered path.
+func (m *Matcher) HasPrefilter() bool { return m.pf != nil }
 
 // NumPatterns returns the number of compiled patterns.
 func (m *Matcher) NumPatterns() int { return len(m.patterns) }

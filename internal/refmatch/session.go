@@ -1,17 +1,22 @@
 package refmatch
 
 import (
+	"sort"
+
 	"repro/internal/automata"
 	"repro/internal/nbva"
+	"repro/internal/prefilter"
 	"repro/internal/shiftand"
 )
 
 // Session is a resumable scan over one stream of input: the active state
-// of every engine (Shift-And bits, NBVA vectors, NFA active sets, DFA
-// state) survives between Feed calls, so a stream may arrive in arbitrary
-// chunks and still produce exactly the matches a whole-buffer Scan would.
-// This mirrors the paper's multi-flow operation (§3.3): the compiled
-// pattern set — the CAM contents — is shared read-only, and each flow
+// of every engine (Shift-And bits, prefilter scanner state and window
+// history, NBVA vectors, NFA active sets, DFA state) survives between
+// Feed calls, so a stream may arrive in arbitrary chunks and still
+// produce exactly the matches a whole-buffer Scan would — including
+// matches whose mandatory literal straddles a chunk boundary. This
+// mirrors the paper's multi-flow operation (§3.3): the compiled pattern
+// set — the CAM contents — is shared read-only, and each flow
 // context-switches only its active vectors.
 //
 // A Session is not safe for concurrent use; callers feed one chunk at a
@@ -19,11 +24,18 @@ import (
 // Matcher is immutable after compilation.
 type Session struct {
 	m           *Matcher
-	sa          *shiftand.Runner
+	sa          *shiftand.Runner // always-on Shift-And state
+	saFast      *shiftand.Runner // prefiltered Shift-And state
+	pf          *prefilter.Stream
 	nbvaRunners []*nbva.Runner
 	nfaRunners  []*automata.Runner
 	dfaRunners  []*automata.DFARunner
 	pos         int // global offset of the next byte to consume
+
+	// buf collects the chunk-kernel matches (prefiltered + always-on
+	// Shift-And) per Feed, ordered by End, for merging with the per-byte
+	// engines. Reused across calls.
+	buf []Match
 
 	// endPending holds end-anchored matches that fired at the most recent
 	// byte. They become real matches only if that byte turns out to be the
@@ -38,6 +50,10 @@ func (m *Matcher) NewSession() *Session {
 	s := &Session{m: m}
 	if m.sa != nil {
 		s.sa = shiftand.NewRunner(m.sa)
+	}
+	if m.saFast != nil {
+		s.saFast = shiftand.NewRunner(m.saFast)
+		s.pf = m.pf.NewStream()
 	}
 	s.nbvaRunners = make([]*nbva.Runner, len(m.nbvas))
 	for i, mach := range m.nbvas {
@@ -57,6 +73,15 @@ func (m *Matcher) NewSession() *Session {
 // Pos returns the number of stream bytes consumed so far; match End
 // offsets are global, i.e. relative to the start of the stream.
 func (s *Session) Pos() int { return s.pos }
+
+// PrefilterStats returns the cumulative prefilter counters of this stream
+// since the last Reset (zero when no pattern is prefiltered).
+func (s *Session) PrefilterStats() prefilter.Stats {
+	if s.pf == nil {
+		return prefilter.Stats{}
+	}
+	return s.pf.Stats()
+}
 
 // Feed consumes the next chunk of the stream and returns the matches
 // ending inside it, with global End offsets. Matches of end-anchored
@@ -85,6 +110,10 @@ func (s *Session) Reset() {
 	if s.sa != nil {
 		s.sa.Reset()
 	}
+	if s.saFast != nil {
+		s.saFast.Reset()
+		s.pf.Reset()
+	}
 	for _, r := range s.nbvaRunners {
 		r.Reset()
 	}
@@ -99,24 +128,71 @@ func (s *Session) Reset() {
 	s.finished = false
 }
 
+// ScanInto resets the session, scans input as one whole buffer and
+// appends every match to dst, which it returns. It is Matcher.Scan on a
+// caller-managed (poolable) session: no per-scan runner allocations.
+func (s *Session) ScanInto(input []byte, dst []Match) []Match {
+	s.Reset()
+	s.feed(input, len(input)-1, func(pattern, end int) {
+		dst = append(dst, Match{Pattern: pattern, End: end})
+	})
+	return dst
+}
+
 // feed is the engine-stepping core shared by Feed and Matcher.scan.
 // knownLast is the global offset of the stream's final byte when the
 // caller already knows it (whole-buffer scans), or -1 for streaming; with
 // it, end-anchored matches are emitted inline in the legacy byte order
 // instead of being deferred to Finish.
+//
+// The two Shift-And machines run on their chunk kernels first — the
+// prefiltered one only over candidate windows — collecting into buf;
+// the per-byte engines (NBVA, NFA, DFA) then step the chunk with buf
+// merged in by end offset, preserving the stream-order contract.
 func (s *Session) feed(chunk []byte, knownLast int, emit func(pattern, end int)) {
 	if s.finished {
 		s.Reset()
 	}
 	m := s.m
-	for i, b := range chunk {
-		gi := s.pos + i
-		s.endPending = s.endPending[:0]
-		if s.sa != nil {
-			for _, p := range s.sa.Step(b) {
-				emit(m.saPattern[p], gi)
-			}
+	base := s.pos
+
+	s.buf = s.buf[:0]
+	if s.saFast != nil {
+		s.pf.Scan(chunk, func(at int, data []byte) {
+			s.saFast.ScanChunk(data, at, func(p, end int) {
+				s.buf = append(s.buf, Match{Pattern: m.saFastPattern[p], End: end})
+			})
+		}, s.saFast.Reset)
+	}
+	if s.sa != nil {
+		split := len(s.buf)
+		s.sa.ScanChunk(chunk, base, func(p, end int) {
+			s.buf = append(s.buf, Match{Pattern: m.saPattern[p], End: end})
+		})
+		if split > 0 && split < len(s.buf) {
+			// Two sorted runs; restore global end order.
+			sort.SliceStable(s.buf, func(i, j int) bool { return s.buf[i].End < s.buf[j].End })
 		}
+	}
+
+	if len(s.nbvaRunners)+len(s.nfaRunners)+len(s.dfaRunners) == 0 {
+		// Pure Shift-And program: no per-byte stepping at all. No engine
+		// here is end-anchored, so endPending stays empty.
+		for _, mt := range s.buf {
+			emit(mt.Pattern, mt.End)
+		}
+		s.pos += len(chunk)
+		return
+	}
+
+	bi := 0
+	for i, b := range chunk {
+		gi := base + i
+		for bi < len(s.buf) && s.buf[bi].End <= gi {
+			emit(s.buf[bi].Pattern, s.buf[bi].End)
+			bi++
+		}
+		s.endPending = s.endPending[:0]
 		for j, r := range s.nbvaRunners {
 			if r.Step(b) {
 				mach := m.nbvas[j]
@@ -138,6 +214,9 @@ func (s *Session) feed(chunk []byte, knownLast int, emit func(pattern, end int))
 				emit(m.dfaIdx[j], gi)
 			}
 		}
+	}
+	for ; bi < len(s.buf); bi++ {
+		emit(s.buf[bi].Pattern, s.buf[bi].End)
 	}
 	s.pos += len(chunk)
 }

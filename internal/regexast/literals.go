@@ -1,0 +1,217 @@
+package regexast
+
+import (
+	"fmt"
+
+	"repro/internal/charclass"
+)
+
+// This file implements the mandatory-literal analysis behind the fast-path
+// scan engine: given a regex, derive a small set of byte-string literals
+// such that EVERY string the regex matches contains at least one of them
+// as a substring. A multi-literal candidate scanner can then confine the
+// automaton to windows around literal occurrences (the Hyperscan-style
+// decomposition), which is sound precisely because the set is mandatory.
+//
+// The analysis is conservative: when no set within the caps exists it
+// reports a reason and the pattern stays on the always-on scan path.
+
+// LiteralCaps bounds mandatory-literal extraction so the candidate
+// scanner's tables stay small and its hits stay selective.
+type LiteralCaps struct {
+	// MaxLiterals caps the number of alternative literals per pattern.
+	MaxLiterals int
+	// MaxLiteralLen caps the byte length of each literal.
+	MaxLiteralLen int
+	// MaxClassBytes caps how wide a character class may be and still be
+	// expanded into literal alternatives ([ab] -> "a","b").
+	MaxClassBytes int
+}
+
+// DefaultLiteralCaps are the production caps: at most 8 alternatives of at
+// most 8 bytes, expanding classes of at most 4 members.
+var DefaultLiteralCaps = LiteralCaps{MaxLiterals: 8, MaxLiteralLen: 8, MaxClassBytes: 4}
+
+func (c *LiteralCaps) setDefaults() {
+	if c.MaxLiterals <= 0 {
+		c.MaxLiterals = DefaultLiteralCaps.MaxLiterals
+	}
+	if c.MaxLiteralLen <= 0 {
+		c.MaxLiteralLen = DefaultLiteralCaps.MaxLiteralLen
+	}
+	if c.MaxClassBytes <= 0 {
+		c.MaxClassBytes = DefaultLiteralCaps.MaxClassBytes
+	}
+}
+
+// MandatoryLiterals returns a mandatory literal set for n: every string in
+// L(n) contains at least one of the returned literals as a substring. When
+// no set within the caps exists it returns (nil, reason). The returned
+// literals are deduplicated; none is empty.
+func MandatoryLiterals(n Node, caps LiteralCaps) ([][]byte, string) {
+	caps.setDefaults()
+	lits, reason := mandatoryLits(n, caps)
+	if reason != "" {
+		return nil, reason
+	}
+	return dedupLits(lits), ""
+}
+
+// mandatoryLits is the recursive core. Exactly one of (lits, reason) is
+// meaningful: a non-empty reason means no mandatory set exists under caps.
+func mandatoryLits(n Node, caps LiteralCaps) ([][]byte, string) {
+	switch t := n.(type) {
+	case Empty:
+		return nil, "matches the empty string"
+	case *Lit:
+		if c := t.Class.Count(); c == 0 {
+			return nil, "empty character class"
+		} else if c > caps.MaxClassBytes {
+			return nil, fmt.Sprintf("class too wide (%d bytes)", c)
+		}
+		lits := make([][]byte, 0, t.Class.Count())
+		for _, b := range t.Class.Bytes() {
+			lits = append(lits, []byte{b})
+		}
+		return lits, ""
+	case *Repeat:
+		if t.Min == 0 {
+			return nil, "optional subexpression (min 0)"
+		}
+		// Min >= 1: every match contains at least one copy of the body.
+		return mandatoryLits(t.Sub, caps)
+	case *Alt:
+		// Every branch must contribute a mandatory set; the union is
+		// mandatory for the alternation.
+		var all [][]byte
+		for i, s := range t.Subs {
+			lits, reason := mandatoryLits(s, caps)
+			if reason != "" {
+				return nil, fmt.Sprintf("alternative %d: %s", i, reason)
+			}
+			all = append(all, lits...)
+		}
+		all = dedupLits(all)
+		if len(all) > caps.MaxLiterals {
+			return nil, fmt.Sprintf("too many alternatives (%d > %d)", len(all), caps.MaxLiterals)
+		}
+		return all, ""
+	case *Concat:
+		// Each child independently yields a candidate mandatory set (a
+		// match contains a segment per child). Maximal runs of adjacent
+		// Lit children additionally yield multi-byte literals via a capped
+		// cross product. Pick the best-scoring candidate.
+		var best [][]byte
+		flush := func(run []charclass.Class) {
+			if lits := bestRunLits(run, caps); lits != nil && betterLits(lits, best) {
+				best = lits
+			}
+		}
+		var run []charclass.Class
+		for _, s := range t.Subs {
+			if l, ok := s.(*Lit); ok {
+				run = append(run, l.Class)
+				continue
+			}
+			flush(run)
+			run = run[:0]
+			if lits, reason := mandatoryLits(s, caps); reason == "" && betterLits(lits, best) {
+				best = lits
+			}
+		}
+		flush(run)
+		if best == nil {
+			return nil, "no literal factor within caps"
+		}
+		return best, ""
+	default:
+		panic(fmt.Sprintf("regexast: unknown node %T", n))
+	}
+}
+
+// bestRunLits expands the best window of a run of adjacent character
+// classes into a literal cross product, or nil when no window fits the
+// caps. Longer windows win; among equal lengths, fewer alternatives win.
+func bestRunLits(run []charclass.Class, caps LiteralCaps) [][]byte {
+	bestLo, bestHi, bestProd := 0, 0, 0
+	for lo := 0; lo < len(run); lo++ {
+		prod := 1
+		for hi := lo; hi < len(run); hi++ {
+			c := run[hi].Count()
+			if c == 0 || c > caps.MaxClassBytes {
+				break
+			}
+			prod *= c
+			if prod > caps.MaxLiterals || hi-lo+1 > caps.MaxLiteralLen {
+				break
+			}
+			length := hi - lo + 1
+			if length > bestHi-bestLo || (length == bestHi-bestLo && prod < bestProd) {
+				bestLo, bestHi, bestProd = lo, hi+1, prod
+			}
+		}
+	}
+	if bestHi == bestLo {
+		return nil
+	}
+	return crossProduct(run[bestLo:bestHi])
+}
+
+// crossProduct expands a window of classes into every byte string it
+// matches. The caller has already bounded the product size.
+func crossProduct(run []charclass.Class) [][]byte {
+	out := [][]byte{{}}
+	for _, cls := range run {
+		members := cls.Bytes()
+		next := make([][]byte, 0, len(out)*len(members))
+		for _, prefix := range out {
+			for _, b := range members {
+				lit := make([]byte, len(prefix)+1)
+				copy(lit, prefix)
+				lit[len(prefix)] = b
+				next = append(next, lit)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// betterLits reports whether a beats b as a prefilter literal set: longer
+// minimum length is more selective; among equal minimums, fewer literals
+// mean a cheaper scanner. nil loses to everything.
+func betterLits(a, b [][]byte) bool {
+	if len(a) == 0 {
+		return false
+	}
+	if len(b) == 0 {
+		return true
+	}
+	am, bm := minLitLen(a), minLitLen(b)
+	if am != bm {
+		return am > bm
+	}
+	return len(a) < len(b)
+}
+
+func minLitLen(lits [][]byte) int {
+	m := int(^uint(0) >> 1)
+	for _, l := range lits {
+		if len(l) < m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+func dedupLits(lits [][]byte) [][]byte {
+	seen := make(map[string]bool, len(lits))
+	out := lits[:0]
+	for _, l := range lits {
+		if !seen[string(l)] {
+			seen[string(l)] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

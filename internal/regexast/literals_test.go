@@ -1,0 +1,130 @@
+package regexast
+
+import (
+	"sort"
+	"testing"
+)
+
+func litStrings(lits [][]byte) []string {
+	out := make([]string, len(lits))
+	for i, l := range lits {
+		out[i] = string(l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMandatoryLiterals(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    []string // nil means not prefilterable
+	}{
+		// Plain literals and literal factors inside larger patterns.
+		{"abc", []string{"abc"}},
+		{".*needle.*", []string{"needle"}},
+		{"[0-9]+GET[0-9]+", []string{"GET"}},
+		// Small classes expand via cross product.
+		{"x[ab]y", []string{"xay", "xby"}},
+		{"[ab][cd]", []string{"ac", "ad", "bc", "bd"}},
+		// Alternation: union of per-branch sets. The adjacent x is a
+		// weaker factor (shorter), so the branch literals win unfused.
+		{"(foo|bar)x", []string{"foo", "bar"}},
+		// Repeat with min >= 1 keeps the body mandatory.
+		{"(abc){2,5}", []string{"abc"}},
+		// Longest window wins over a shorter earlier one.
+		{"ab.longer", []string{"longer"}},
+		// No literal anywhere: every position is a wide class.
+		{"[a-z]+", nil},
+		// Optional body contributes nothing; siblings can still win.
+		{"(abc)?xy", []string{"xy"}},
+		// Alternation where one branch has no literal poisons the set.
+		{"(foo|[0-9]+)", nil},
+		// Literal longer than the cap is truncated to a window, not lost.
+		{"abcdefghijkl", []string{"abcdefgh"}},
+	}
+	for _, tc := range cases {
+		re := MustParse(tc.pattern)
+		lits, reason := MandatoryLiterals(re.Root, LiteralCaps{})
+		if tc.want == nil {
+			if lits != nil {
+				t.Errorf("%q: got literals %v, want none", tc.pattern, litStrings(lits))
+			} else if reason == "" {
+				t.Errorf("%q: nil literals but empty reason", tc.pattern)
+			}
+			continue
+		}
+		if lits == nil {
+			t.Errorf("%q: not prefilterable (%s), want %v", tc.pattern, reason, tc.want)
+			continue
+		}
+		got := litStrings(lits)
+		want := append([]string(nil), tc.want...)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Errorf("%q: literals %v, want %v", tc.pattern, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%q: literals %v, want %v", tc.pattern, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestMandatoryLiteralsCaps(t *testing.T) {
+	// 3 alternatives fit a cap of 4 but not 2.
+	re := MustParse("(aa|bb|cc)")
+	if lits, _ := MandatoryLiterals(re.Root, LiteralCaps{MaxLiterals: 4, MaxLiteralLen: 8, MaxClassBytes: 4}); len(lits) != 3 {
+		t.Errorf("cap 4: got %v", litStrings(lits))
+	}
+	if lits, reason := MandatoryLiterals(re.Root, LiteralCaps{MaxLiterals: 2, MaxLiteralLen: 8, MaxClassBytes: 4}); lits != nil {
+		t.Errorf("cap 2: got %v, want fallback", litStrings(lits))
+	} else if reason == "" {
+		t.Error("cap 2: empty reason")
+	}
+}
+
+// TestMandatoryLiteralsAreMandatory is the semantic property the prefilter
+// depends on: every sample string matched by the pattern must contain at
+// least one extracted literal.
+func TestMandatoryLiteralsAreMandatory(t *testing.T) {
+	cases := []struct {
+		pattern string
+		inputs  []string // strings the pattern matches (as a substring scan)
+	}{
+		{"x[ab]y", []string{"xay", "xby", "00xay11"}},
+		{"(foo|bar)x", []string{"fooxz", "zzbarx"}},
+		{"[0-9]+GET[0-9]+", []string{"1GET2", "99GET00"}},
+		{"(abc){2,5}", []string{"abcabc", "abcabcabc"}},
+	}
+	for _, tc := range cases {
+		re := MustParse(tc.pattern)
+		lits, reason := MandatoryLiterals(re.Root, LiteralCaps{})
+		if lits == nil {
+			t.Fatalf("%q: not prefilterable: %s", tc.pattern, reason)
+		}
+		for _, in := range tc.inputs {
+			found := false
+			for _, l := range lits {
+				if contains(in, string(l)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%q: matched input %q contains none of %v", tc.pattern, in, litStrings(lits))
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

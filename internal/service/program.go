@@ -13,10 +13,11 @@ import (
 // CompileOptions is the wire form of refmatch.Options. The zero value
 // means defaults; distinct option sets hash to distinct program IDs.
 type CompileOptions struct {
-	LinearBudgetFactor int `json:"linear_budget_factor,omitempty"`
-	UnfoldThreshold    int `json:"unfold_threshold,omitempty"`
-	MaxNFAStates       int `json:"max_nfa_states,omitempty"`
-	DFAStateCap        int `json:"dfa_state_cap,omitempty"`
+	LinearBudgetFactor int  `json:"linear_budget_factor,omitempty"`
+	UnfoldThreshold    int  `json:"unfold_threshold,omitempty"`
+	MaxNFAStates       int  `json:"max_nfa_states,omitempty"`
+	DFAStateCap        int  `json:"dfa_state_cap,omitempty"`
+	DisablePrefilter   bool `json:"disable_prefilter,omitempty"`
 }
 
 func (o CompileOptions) refmatch() refmatch.Options {
@@ -25,6 +26,7 @@ func (o CompileOptions) refmatch() refmatch.Options {
 		UnfoldThreshold:    o.UnfoldThreshold,
 		MaxNFAStates:       o.MaxNFAStates,
 		DFAStateCap:        o.DFAStateCap,
+		DisablePrefilter:   o.DisablePrefilter,
 	}
 }
 
@@ -54,11 +56,31 @@ type Program struct {
 	hwMu  sync.Mutex
 	hwImg *bitstream.Image
 
+	// sessPool recycles refmatch.Sessions across one-shot scans and
+	// closed streams: all per-flow scratch (Shift-And state words, NBVA
+	// vectors, prefilter history, match buffers) is reused instead of
+	// reallocated per request. Safe because a pooled Session is reset on
+	// checkout and the Matcher it wraps is immutable.
+	sessPool sync.Pool
+
 	scans    metrics.Counter
 	bytes    metrics.Counter
 	matches  metrics.Counter
 	sessions metrics.Counter // sessions ever opened against this program
 }
+
+// getSession checks a reset Session out of the program's pool.
+func (p *Program) getSession() *refmatch.Session {
+	if v := p.sessPool.Get(); v != nil {
+		s := v.(*refmatch.Session)
+		s.Reset()
+		return s
+	}
+	return p.Matcher.NewSession()
+}
+
+// putSession returns a Session to the pool once no caller references it.
+func (p *Program) putSession(s *refmatch.Session) { p.sessPool.Put(s) }
 
 // hwImage returns the program's deployment image, building it on demand.
 func (p *Program) hwImage() (*bitstream.Image, error) {
@@ -79,6 +101,7 @@ type ProgramStats struct {
 	ID          string         `json:"id"`
 	NumPatterns int            `json:"num_patterns"`
 	Engines     map[string]int `json:"engines"`
+	Prefiltered int            `json:"prefiltered"` // patterns on the literal-prefilter fast path
 	CreatedAt   time.Time      `json:"created_at"`
 	Generation  int64          `json:"generation"`
 	Scans       int64          `json:"scans"`
@@ -93,6 +116,7 @@ func (p *Program) Stats() ProgramStats {
 		ID:          p.ID,
 		NumPatterns: p.Matcher.NumPatterns(),
 		Engines:     p.engineCounts(),
+		Prefiltered: p.prefilteredCount(),
 		CreatedAt:   p.CreatedAt,
 		Generation:  p.Generation,
 		Scans:       p.scans.Value(),
@@ -108,4 +132,14 @@ func (p *Program) engineCounts() map[string]int {
 		out[e.String()]++
 	}
 	return out
+}
+
+func (p *Program) prefilteredCount() int {
+	n := 0
+	for _, v := range p.Matcher.PrefilterVerdicts() {
+		if v.Prefilterable {
+			n++
+		}
+	}
+	return n
 }

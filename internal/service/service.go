@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/prefilter"
 	"repro/internal/refmatch"
 	"repro/internal/telemetry"
 )
@@ -89,6 +90,7 @@ type Service struct {
 	stageCompile     *metrics.Histogram
 	stageQueueWait   *metrics.Histogram
 	stageScan        *metrics.Histogram
+	stagePrefilter   *metrics.Histogram
 	stageApply       *metrics.Histogram
 
 	scans       *metrics.Counter
@@ -96,6 +98,12 @@ type Service struct {
 	scanMatches *metrics.Counter
 	opened      *metrics.Counter
 	closedCount *metrics.Counter
+
+	// Prefilter fast-path counters, aggregated across all programs.
+	pfScanned *metrics.Counter
+	pfSkipped *metrics.Counter
+	pfHits    *metrics.Counter
+	pfWindows *metrics.Counter
 
 	// Live-reconfiguration counters (Service.Update).
 	updateMu           sync.Mutex // serializes hot-swaps
@@ -195,7 +203,9 @@ func (s *Service) runOn(tr *telemetry.Trace, flow uint64, fn func()) error {
 
 // Scan runs a one-shot whole-buffer scan of data against a cached
 // program, dispatched through the worker pool (so it shares queueing,
-// backpressure and accounting with streaming traffic).
+// backpressure and accounting with streaming traffic). The scan runs on
+// a pooled session, so steady-state traffic reuses engine scratch
+// instead of allocating per request.
 func (s *Service) Scan(ctx context.Context, programID string, data []byte) ([]refmatch.Match, error) {
 	tr := telemetry.TraceFromContext(ctx)
 	prog, ok := s.lookup(tr, programID)
@@ -203,16 +213,34 @@ func (s *Service) Scan(ctx context.Context, programID string, data []byte) ([]re
 		return nil, fmt.Errorf("%w: program %s", ErrNotFound, programID)
 	}
 	var matches []refmatch.Match
+	var pf prefilter.Stats
 	err := s.runOn(tr, s.nextFlow.Add(1), func() {
+		st := prog.getSession()
 		scanStart := time.Now()
-		matches = prog.Matcher.Scan(data)
+		matches = st.ScanInto(data, nil)
 		observeStage(s.stageScan, tr, "scan", scanStart)
+		pf = st.PrefilterStats()
+		s.observePrefilter(tr, scanStart, pf)
+		prog.putSession(st)
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.account(prog, nil, len(data), len(matches))
+	s.account(prog, nil, len(data), len(matches), pf)
 	return matches, nil
+}
+
+// observePrefilter folds one request's prefilter time into the stage
+// histogram and trace. The prefilter runs interleaved inside the scan
+// stage; its span starts at the scan start with the summed literal-scan
+// duration, making the hit/skip economics visible per request.
+func (s *Service) observePrefilter(tr *telemetry.Trace, scanStart time.Time, pf prefilter.Stats) {
+	if pf.ScannedBytes == 0 && pf.SkippedBytes == 0 && pf.WindowNS == 0 {
+		return
+	}
+	d := time.Duration(pf.WindowNS)
+	s.stagePrefilter.Observe(d)
+	tr.AddSpan("prefilter", scanStart, d)
 }
 
 // OpenSession opens a streaming session against a cached program and
@@ -228,7 +256,7 @@ func (s *Service) OpenSession(ctx context.Context, programID string) (string, er
 		prog:    prog,
 		flow:    s.nextFlow.Add(1),
 		created: time.Now(),
-		stream:  prog.Matcher.NewSession(),
+		stream:  prog.getSession(),
 	}
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
@@ -262,6 +290,7 @@ func (s *Service) Feed(ctx context.Context, sessionID string, chunk []byte) ([]r
 	}
 	tr := telemetry.TraceFromContext(ctx)
 	var matches []refmatch.Match
+	var pf prefilter.Stats
 	closed := false
 	err = s.runOn(tr, sess.flow, func() {
 		if sess.closed {
@@ -271,6 +300,10 @@ func (s *Service) Feed(ctx context.Context, sessionID string, chunk []byte) ([]r
 		scanStart := time.Now()
 		matches = sess.stream.Feed(chunk)
 		observeStage(s.stageScan, tr, "scan", scanStart)
+		total := sess.stream.PrefilterStats()
+		pf = total.Sub(sess.pfSnap)
+		sess.pfSnap = total
+		s.observePrefilter(tr, scanStart, pf)
 	})
 	if err != nil {
 		return nil, err
@@ -279,7 +312,7 @@ func (s *Service) Feed(ctx context.Context, sessionID string, chunk []byte) ([]r
 		return nil, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
 	}
 	sess.chunks.Inc()
-	s.account(sess.prog, sess, len(chunk), len(matches))
+	s.account(sess.prog, sess, len(chunk), len(matches), pf)
 	return matches, nil
 }
 
@@ -309,12 +342,16 @@ func (s *Service) CloseSession(ctx context.Context, sessionID string) ([]refmatc
 	if closed {
 		return nil, SessionSummary{}, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
 	}
-	s.account(sess.prog, sess, 0, len(final))
+	s.account(sess.prog, sess, 0, len(final), prefilter.Stats{})
 	s.mu.Lock()
 	delete(s.sessions, sessionID)
 	s.mu.Unlock()
 	s.closedCount.Inc()
-	return final, sess.summary(), nil
+	summary := sess.summary()
+	// The stream is finished and unreachable now; recycle its scratch.
+	sess.prog.putSession(sess.stream)
+	sess.stream = nil
+	return final, summary, nil
 }
 
 // DrainedSession is the outcome of force-closing one open session during
@@ -356,14 +393,19 @@ func (s *Service) DrainSessions() []DrainedSession {
 }
 
 // account folds one scan/chunk result into program, session and service
-// counters.
-func (s *Service) account(prog *Program, sess *session, nbytes, nmatches int) {
+// counters. pf is this request's prefilter delta (zero when the program
+// has no prefiltered patterns).
+func (s *Service) account(prog *Program, sess *session, nbytes, nmatches int, pf prefilter.Stats) {
 	prog.scans.Inc()
 	prog.bytes.Add(int64(nbytes))
 	prog.matches.Add(int64(nmatches))
 	s.scans.Inc()
 	s.scanBytes.Add(int64(nbytes))
 	s.scanMatches.Add(int64(nmatches))
+	s.pfScanned.Add(pf.ScannedBytes)
+	s.pfSkipped.Add(pf.SkippedBytes)
+	s.pfHits.Add(pf.LiteralHits)
+	s.pfWindows.Add(pf.Windows)
 	if sess != nil {
 		sess.bytes.Add(int64(nbytes))
 		sess.matches.Add(int64(nmatches))
@@ -382,8 +424,22 @@ type Stats struct {
 	Cache         CacheStats                           `json:"cache"`
 	Pool          PoolStats                            `json:"pool"`
 	Sessions      SessionStats                         `json:"sessions"`
+	Prefilter     PrefilterStats                       `json:"prefilter"`
 	Reconfig      ReconfigStats                        `json:"reconfig"`
 	Programs      []ProgramStats                       `json:"programs"`
+}
+
+// PrefilterStats aggregates the literal-prefilter fast path across all
+// traffic: bytes the match automata actually consumed vs bytes the
+// prefilter proved match-free, literal hits, and candidate windows.
+// SkipRatio is SkippedBytes over the prefiltered total (0 when no
+// prefiltered pattern saw traffic).
+type PrefilterStats struct {
+	ScannedBytes int64   `json:"scanned_bytes"`
+	SkippedBytes int64   `json:"skipped_bytes"`
+	LiteralHits  int64   `json:"literal_hits"`
+	Windows      int64   `json:"windows"`
+	SkipRatio    float64 `json:"skip_ratio"`
 }
 
 // ReconfigStats aggregates the live-reconfiguration counters: how many
@@ -417,6 +473,7 @@ func (s *Service) Stats() Stats {
 			"compile":        s.stageCompile.Snapshot(),
 			"queue_wait":     s.stageQueueWait.Snapshot(),
 			"scan":           s.stageScan.Snapshot(),
+			"prefilter":      s.stagePrefilter.Snapshot(),
 			"reconfig_apply": s.stageApply.Snapshot(),
 		},
 		Cache: s.cache.stats(),
@@ -426,6 +483,7 @@ func (s *Service) Stats() Stats {
 			Opened: s.opened.Value(),
 			Closed: s.closedCount.Value(),
 		},
+		Prefilter: s.prefilterStats(),
 		Reconfig: ReconfigStats{
 			Updates:        s.updates.Value(),
 			DeltaBytes:     s.updateDeltaBytes.Value(),
@@ -438,4 +496,17 @@ func (s *Service) Stats() Stats {
 		},
 		Programs: s.cache.snapshot(),
 	}
+}
+
+func (s *Service) prefilterStats() PrefilterStats {
+	ps := PrefilterStats{
+		ScannedBytes: s.pfScanned.Value(),
+		SkippedBytes: s.pfSkipped.Value(),
+		LiteralHits:  s.pfHits.Value(),
+		Windows:      s.pfWindows.Value(),
+	}
+	if total := ps.ScannedBytes + ps.SkippedBytes; total > 0 {
+		ps.SkipRatio = float64(ps.SkippedBytes) / float64(total)
+	}
+	return ps
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/prefilter"
 	"repro/internal/refmatch"
 )
 
@@ -19,6 +20,11 @@ type session struct {
 
 	stream *refmatch.Session
 	closed bool // guarded by shard serialization: only pool tasks touch it
+
+	// pfSnap is the stream's prefilter counters as of the last Feed, so
+	// each Feed accounts only its own delta into the service totals.
+	// Touched only by pool tasks, like stream.
+	pfSnap prefilter.Stats
 
 	bytes   metrics.Counter
 	chunks  metrics.Counter
@@ -39,14 +45,20 @@ type SessionSummary struct {
 	Bytes     int64  `json:"bytes"`
 	Chunks    int64  `json:"chunks"`
 	Matches   int64  `json:"matches"`
+	// Prefilter fast-path effectiveness over this stream: bytes the match
+	// automaton consumed vs bytes the literal prefilter let it skip.
+	PrefilterScannedBytes int64 `json:"prefilter_scanned_bytes,omitempty"`
+	PrefilterSkippedBytes int64 `json:"prefilter_skipped_bytes,omitempty"`
 }
 
 func (s *session) summary() SessionSummary {
 	return SessionSummary{
-		SessionID: s.id,
-		ProgramID: s.prog.ID,
-		Bytes:     s.bytes.Value(),
-		Chunks:    s.chunks.Value(),
-		Matches:   s.matches.Value(),
+		SessionID:             s.id,
+		ProgramID:             s.prog.ID,
+		Bytes:                 s.bytes.Value(),
+		Chunks:                s.chunks.Value(),
+		Matches:               s.matches.Value(),
+		PrefilterScannedBytes: s.pfSnap.ScannedBytes,
+		PrefilterSkippedBytes: s.pfSnap.SkippedBytes,
 	}
 }

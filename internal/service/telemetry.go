@@ -22,12 +22,20 @@ func (s *Service) registerMetrics() {
 	s.stageCompile = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "compile"))
 	s.stageQueueWait = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "queue_wait"))
 	s.stageScan = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "scan"))
+	s.stagePrefilter = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "prefilter"))
 	s.stageApply = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "reconfig_apply"))
 
 	// Traffic totals.
 	s.scans = r.Counter("rap_scans_total", "One-shot scans plus streamed chunks processed.")
 	s.scanBytes = r.Counter("rap_scan_bytes_total", "Input bytes scanned.")
 	s.scanMatches = r.Counter("rap_scan_matches_total", "Matches reported.")
+
+	// Literal-prefilter fast path: the hit/skip economics of confining
+	// the match automata to candidate windows around mandatory literals.
+	s.pfScanned = r.Counter("rap_prefilter_scanned_bytes_total", "Bytes the match automata consumed inside candidate windows.")
+	s.pfSkipped = r.Counter("rap_prefilter_skipped_bytes_total", "Bytes the literal prefilter proved match-free and skipped.")
+	s.pfHits = r.Counter("rap_prefilter_literal_hits_total", "Mandatory-literal occurrences found by the prefilter.")
+	s.pfWindows = r.Counter("rap_prefilter_windows_total", "Candidate windows delivered to the match automata.")
 
 	// Session table.
 	s.opened = r.Counter("rap_sessions_opened_total", "Streaming sessions opened.")

@@ -1,0 +1,110 @@
+package shiftand
+
+import (
+	"math/bits"
+
+	"repro/internal/bitvec"
+)
+
+// This file holds the specialized scan kernels of the fast-path engine.
+// Both kernels execute whole chunks with zero allocations, selected at
+// compile time by New:
+//
+//   - kernel64: machines of at most 64 packed states run on a plain
+//     uint64 state word — no bitvec indirection, one shift/or/and per
+//     byte, matches drained with trailing-zeros iteration.
+//   - the batched multi-word path fuses the four bitvec operations of
+//     Step (shift, or-initial, and-label, final test) into a single pass
+//     over the state words per input byte, with no scratch vector.
+
+// kernel64 is the single-word fast path, built by New when the packed
+// machine fits 64 states.
+type kernel64 struct {
+	labels  [256]uint64
+	initial uint64
+	final   uint64
+}
+
+func newKernel64(m *Machine) *kernel64 {
+	k := &kernel64{
+		initial: m.maskInitial.Words()[0],
+		final:   m.maskFinal.Words()[0],
+	}
+	for c := 0; c < 256; c++ {
+		k.labels[c] = m.labels[c].Words()[0]
+	}
+	return k
+}
+
+// scan advances state over data, reporting matches as (pattern, base+i)
+// pairs. It performs no allocations.
+func (k *kernel64) scan(state uint64, data []byte, base int, patternOf []int, emit func(pattern, end int)) uint64 {
+	s := state
+	for i := 0; i < len(data); i++ {
+		s = (s<<1 | k.initial) & k.labels[data[i]]
+		if f := s & k.final; f != 0 {
+			for ; f != 0; f &= f - 1 {
+				emit(patternOf[bits.TrailingZeros64(f)], base+i)
+			}
+		}
+	}
+	return s
+}
+
+// HasKernel64 reports whether the machine compiled to the single-word
+// fast path.
+func (m *Machine) HasKernel64() bool { return m.k64 != nil }
+
+// scanChunkMulti is the batched multi-word kernel: it steps the packed
+// automaton over data in place on states' words. The state bits above
+// NumStates stay clear because every label vector has them clear.
+func (m *Machine) scanChunkMulti(states bitvec.Vector, data []byte, base int, emit func(pattern, end int)) {
+	w := states.Words()
+	iw := m.maskInitial.Words()
+	fw := m.maskFinal.Words()
+	for i := 0; i < len(data); i++ {
+		lw := m.labels[data[i]].Words()
+		var carry uint64
+		anyFinal := false
+		for j := range w {
+			hi := w[j] >> 63
+			w[j] = (w[j]<<1 | carry | iw[j]) & lw[j]
+			carry = hi
+			if w[j]&fw[j] != 0 {
+				anyFinal = true
+			}
+		}
+		if anyFinal {
+			for j := range w {
+				for f := w[j] & fw[j]; f != 0; f &= f - 1 {
+					emit(m.patternOf[j*64+bits.TrailingZeros64(f)], base+i)
+				}
+			}
+		}
+	}
+}
+
+// scanChunk dispatches one chunk onto the specialized kernel for this
+// machine, carrying state in the caller's vector.
+func (m *Machine) scanChunk(states bitvec.Vector, data []byte, base int, emit func(pattern, end int)) {
+	if m.k64 != nil {
+		w := states.Words()
+		w[0] = m.k64.scan(w[0], data, base, m.patternOf, emit)
+		return
+	}
+	m.scanChunkMulti(states, data, base, emit)
+}
+
+// ScanChunk steps the machine's own state over data, reporting matches
+// with end offsets base+i. It is the zero-allocation equivalent of
+// calling Step per byte and is what MatchEnds runs on.
+func (m *Machine) ScanChunk(data []byte, base int, emit func(pattern, end int)) {
+	m.scanChunk(m.states, data, base, emit)
+}
+
+// ScanChunk steps the runner's private state over data, reporting matches
+// with end offsets base+i, without allocating. Sessions use it to scan
+// candidate windows delivered by the prefilter.
+func (r *Runner) ScanChunk(data []byte, base int, emit func(pattern, end int)) {
+	r.m.scanChunk(r.states, data, base, emit)
+}

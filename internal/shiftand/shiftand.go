@@ -37,6 +37,7 @@ type Machine struct {
 	maskFinal   bitvec.Vector
 	states      bitvec.Vector
 	scratch     bitvec.Vector
+	k64         *kernel64 // single-word fast path when NumStates <= 64
 }
 
 // New builds a machine for the given patterns packed in order. Patterns
@@ -76,6 +77,9 @@ func New(patterns []Pattern) (*Machine, error) {
 			}
 		}
 		m.labels[c] = v
+	}
+	if total > 0 && total <= 64 {
+		m.k64 = newKernel64(m)
 	}
 	return m, nil
 }
@@ -140,15 +144,14 @@ type MatchEnd struct {
 }
 
 // MatchEnds runs the machine over the whole input from the reset state and
-// returns every (pattern, end offset) match pair in stream order.
+// returns every (pattern, end offset) match pair in stream order. It runs
+// on the specialized chunk kernel, allocating only for the result.
 func (m *Machine) MatchEnds(input []byte) []MatchEnd {
 	m.Reset()
 	var out []MatchEnd
-	for i, b := range input {
-		for _, p := range m.Step(b) {
-			out = append(out, MatchEnd{Pattern: p, End: i})
-		}
-	}
+	m.ScanChunk(input, 0, func(p, end int) {
+		out = append(out, MatchEnd{Pattern: p, End: end})
+	})
 	return out
 }
 

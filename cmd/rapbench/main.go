@@ -8,13 +8,16 @@
 //	rapbench -exp service -json ./bench  # machine-readable BENCH_service.json
 //
 // Experiments: fig1, fig10a, fig10b, table2, table3, fig11, fig12, fig13,
-// table4, ablation, characterize, flows, reconfig, service, scan, all.
-// The reconfig experiment is beyond-paper: it prices live ruleset updates
-// (delta bitstream + tile quiesce/reload) against full redeployment; the
-// service experiment benchmarks the serving stack (cache + worker pool)
-// against direct matcher calls; the scan experiment measures the fast-path
-// scan engine (mandatory-literal prefilter + zero-alloc kernels) against
-// the always-on scan path on a literal-bearing workload.
+// table4, ablation, characterize, flows, reconfig, service, scan, compile,
+// all. The reconfig experiment is beyond-paper: it prices live ruleset
+// updates (delta bitstream + tile quiesce/reload) against full
+// redeployment; the service experiment benchmarks the serving stack
+// (cache + worker pool) against direct matcher calls; the scan experiment
+// measures the fast-path scan engine (mandatory-literal prefilter +
+// zero-alloc kernels) against the always-on scan path on a literal-bearing
+// workload; the compile experiment measures the staged compile pipeline's
+// parallel per-pattern fan-out against the serial baseline on the merged
+// §5.1 ruleset, with a byte-identical-output determinism check.
 //
 // -json DIR additionally writes one BENCH_<exp>.json per experiment —
 // result table plus config, wall time and build identity — so CI can

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -162,7 +163,7 @@ func explainPrefilter(patterns []string) {
 		Header: []string{"#", "Pattern", "Engine", "Fast path"},
 	}
 	for i, p := range patterns {
-		m, err := refmatch.Compile([]string{p})
+		m, err := refmatch.Compile(context.Background(), []string{p}, refmatch.Options{})
 		if err != nil {
 			t.AddRow(i, truncate(p, 40), "ERROR", err.Error())
 			continue

@@ -7,17 +7,17 @@
 //	rapserve -addr :8844
 //
 //	# compile (or cache-hit) a ruleset
-//	curl -s localhost:8844/programs -d '{"patterns":["cat","ab{10,48}c"]}'
+//	curl -s localhost:8844/v1/programs -d '{"patterns":["cat","ab{10,48}c"]}'
 //	# live ruleset hot-swap: same ID, open sessions stay on the old rules
-//	curl -s -X PUT localhost:8844/programs/$ID -d '{"patterns":["dog"]}'
+//	curl -s -X PUT localhost:8844/v1/programs/$ID -d '{"patterns":["dog"]}'
 //	# one-shot scan
-//	curl -s localhost:8844/programs/$ID/scan --data-binary @input.bin
+//	curl -s localhost:8844/v1/programs/$ID/scan --data-binary @input.bin
 //	# streaming session
-//	curl -s localhost:8844/sessions -d '{"program_id":"'$ID'"}'
-//	curl -s localhost:8844/sessions/$SID/data --data-binary @chunk1.bin
-//	curl -s -X DELETE localhost:8844/sessions/$SID
+//	curl -s localhost:8844/v1/sessions -d '{"program_id":"'$ID'"}'
+//	curl -s localhost:8844/v1/sessions/$SID/data --data-binary @chunk1.bin
+//	curl -s -X DELETE localhost:8844/v1/sessions/$SID
 //	# counters (JSON), Prometheus exposition, recent slow traces
-//	curl -s localhost:8844/stats
+//	curl -s localhost:8844/v1/stats
 //	curl -s localhost:8844/metrics
 //	curl -s localhost:8844/debug/traces
 //

@@ -4,6 +4,14 @@
 // rewriting) for NBVA, and the §4.2 linearization for LNFA. The output is
 // a mode-tagged, automaton-level representation the mapper places onto
 // tiles (internal/mapper) and the cycle simulator executes (internal/sim).
+//
+// Compilation is embarrassingly parallel per regex: CompileContext fans
+// the per-pattern work (parse → rewrite → mode decision → automaton
+// build) out across a bounded worker pool and produces deterministic,
+// order-preserving Results with typed per-pattern diagnostics (Diag).
+// Which Fig 9 routes are open is an Options.ModePolicy; the historical
+// CompileAllNFA/CompileNoLNFA entry points survive as deprecated
+// wrappers over ForceNFA/AllowNBVA policies.
 package compile
 
 import (
@@ -39,6 +47,48 @@ func (m Mode) String() string {
 	}
 }
 
+// ModePolicy selects which routes of the Fig 9 decision graph the
+// compiler may take. The zero value opens every route (NBVA, LNFA, NFA —
+// the paper's full compiler); combine AllowNBVA/AllowLNFA to open a
+// subset, or use ForceNFA to unfold everything to basic Glushkov NFAs.
+type ModePolicy uint8
+
+const (
+	// AllowNBVA opens the §4.1 bit-vector route for large bounded
+	// repetitions. AllowNBVA alone (no AllowLNFA) is the program BVAP
+	// executes: it has bit-vector modules but no Shift-And datapath.
+	AllowNBVA ModePolicy = 1 << iota
+	// AllowLNFA opens the §4.2 linearization route for linear patterns.
+	AllowLNFA
+	// ForceNFA closes every rewriting route: all regexes unfold to basic
+	// Glushkov NFAs, the form the CAMA and CA baselines execute and the
+	// "NFA mode" rows of Tables 2–3 ("We unfold all regexes to basic NFAs
+	// to obtain NFA mode results", §5.4).
+	ForceNFA
+)
+
+// PolicyDefault is the zero ModePolicy: every route open (normalized to
+// AllowNBVA|AllowLNFA by Options defaulting).
+const PolicyDefault ModePolicy = 0
+
+func (p ModePolicy) allowNBVA() bool { return p&ForceNFA == 0 && (p == 0 || p&AllowNBVA != 0) }
+func (p ModePolicy) allowLNFA() bool { return p&ForceNFA == 0 && (p == 0 || p&AllowLNFA != 0) }
+
+func (p ModePolicy) String() string {
+	switch {
+	case p&ForceNFA != 0:
+		return "force-nfa"
+	case p.allowNBVA() && p.allowLNFA():
+		return "fig9"
+	case p.allowNBVA():
+		return "nbva+nfa"
+	case p.allowLNFA():
+		return "lnfa+nfa"
+	default:
+		return "nfa"
+	}
+}
+
 // Options are the compiler knobs exposed by the paper.
 type Options struct {
 	// UnfoldThreshold: bounded repetitions with upper bound at or below it
@@ -53,6 +103,12 @@ type Options struct {
 	MaxNFAStates int
 	// MaxNBVAUnfolded bounds the unfolded size of NBVA-mode regexes.
 	MaxNBVAUnfolded int
+	// ModePolicy selects the open Fig 9 routes. Zero means every route.
+	ModePolicy ModePolicy
+	// Parallelism bounds the compile worker pool; 0 means
+	// runtime.GOMAXPROCS(0), 1 compiles serially. The output is
+	// byte-identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's defaults.
@@ -62,6 +118,7 @@ func DefaultOptions() Options {
 		LinearBudgetFactor: 2,
 		MaxNFAStates:       2048,
 		MaxNBVAUnfolded:    64528,
+		ModePolicy:         AllowNBVA | AllowLNFA,
 	}
 }
 
@@ -79,7 +136,56 @@ func (o *Options) setDefaults() {
 	if o.MaxNBVAUnfolded == 0 {
 		o.MaxNBVAUnfolded = d.MaxNBVAUnfolded
 	}
+	if o.ModePolicy == PolicyDefault {
+		o.ModePolicy = d.ModePolicy
+	}
 }
+
+// DiagCode classifies one per-pattern compile outcome.
+type DiagCode string
+
+const (
+	// DiagOK: the pattern compiled to the mode recorded in its Compiled.
+	DiagOK DiagCode = "ok"
+	// DiagParseError: the pattern is not valid regex syntax.
+	DiagParseError DiagCode = "parse_error"
+	// DiagCapacity: no open mode can hold the pattern within the §3.3
+	// state/bit-vector capacity limits.
+	DiagCapacity DiagCode = "capacity_exceeded"
+)
+
+// Diag is the typed per-pattern diagnostic of one compile slot. Every
+// input pattern gets exactly one, ok or not — failures are never silently
+// dropped from the Result.
+type Diag struct {
+	// Index is the pattern's position in the input list.
+	Index int
+	// Code classifies the outcome.
+	Code DiagCode
+	// Mode is the chosen execution mode when Code == DiagOK.
+	Mode Mode
+	// ModeReason is the human-readable route through Fig 9 (the decision
+	// trail), also present on failures up to the point they occurred.
+	ModeReason string
+	// Err is the failure, nil when Code == DiagOK.
+	Err error
+}
+
+// OK reports whether the pattern compiled.
+func (d Diag) OK() bool { return d.Err == nil }
+
+// Error is the typed per-pattern compile failure stored in
+// Result.Errors. errors.As extracts it; errors.Is sees through it to the
+// underlying cause (regexast.ErrBudget, nbva.ErrNotCompilable, ...).
+type Error struct {
+	Index   int
+	Pattern string
+	Code    DiagCode
+	Err     error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pattern %d %q: %v", e.Index, e.Pattern, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
 
 // LinearSeq is one compiled LNFA sequence with its CAM-encodability
 // classification (§3.2: single-32-bit-code CCs map to the CAM; others use
@@ -112,7 +218,11 @@ type Compiled struct {
 // Result is the output of compiling a pattern set.
 type Result struct {
 	Regexes []Compiled
-	Errors  []error // per-pattern compile failures (indexes preserved)
+	// Diags holds one typed diagnostic per input pattern, in input order.
+	Diags []Diag
+	// Errors lists the per-pattern compile failures (indexes preserved);
+	// every entry is a *compile.Error. Derived from Diags.
+	Errors []error
 }
 
 // ByMode returns the compiled regexes of one mode.
@@ -148,49 +258,21 @@ func (r *Result) ModeShares() map[Mode]float64 {
 	return out
 }
 
-// Compile compiles every pattern with the Fig 9 decision graph. Patterns
-// that fail to parse or exceed every mode's capacity produce an entry in
-// Errors and a zero-value Compiled slot.
-func Compile(patterns []string, opts Options) *Result {
-	opts.setDefaults()
-	res := &Result{Regexes: make([]Compiled, len(patterns))}
-	for i, p := range patterns {
-		c, err := CompileOne(p, opts)
-		if err != nil {
-			res.Errors = append(res.Errors, fmt.Errorf("pattern %d %q: %w", i, p, err))
-			continue
-		}
-		c.Index = i
-		res.Regexes[i] = *c
-	}
-	return res
+// CompileAllNFA compiles every pattern as a basic Glushkov NFA.
+//
+// Deprecated: use Compile with Options.ModePolicy = ForceNFA.
+func CompileAllNFA(patterns []string, opts Options) *Result {
+	opts.ModePolicy = ForceNFA
+	return Compile(patterns, opts)
 }
 
-// CompileAllNFA compiles every pattern as a basic Glushkov NFA, the form
-// the CAMA and CA baselines execute and the "NFA mode" rows of Tables 2–3
-// ("We unfold all regexes to basic NFAs to obtain NFA mode results",
-// §5.4). The per-array capacity still applies.
-func CompileAllNFA(patterns []string, opts Options) *Result {
-	opts.setDefaults()
-	res := &Result{Regexes: make([]Compiled, len(patterns))}
-	for i, p := range patterns {
-		re, err := regexast.Parse(p)
-		if err != nil {
-			res.Errors = append(res.Errors, fmt.Errorf("pattern %d %q: %w", i, p, err))
-			continue
-		}
-		nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
-		if err != nil {
-			res.Errors = append(res.Errors, fmt.Errorf("pattern %d %q: %w", i, p, err))
-			continue
-		}
-		res.Regexes[i] = Compiled{
-			Index: i, Source: p, Mode: ModeNFA, NFA: nfa,
-			STEs: nfa.NumStates(), UnfoldedSTEs: nfa.NumStates(),
-			DecisionTrail: "forced NFA",
-		}
-	}
-	return res
+// CompileNoLNFA compiles with the LNFA route disabled: NBVA for large
+// bounded repetitions, NFA otherwise.
+//
+// Deprecated: use Compile with Options.ModePolicy = AllowNBVA.
+func CompileNoLNFA(patterns []string, opts Options) *Result {
+	opts.ModePolicy = AllowNBVA
+	return Compile(patterns, opts)
 }
 
 // FromNFAs wraps pre-built homogeneous NFAs (e.g. imported from MNRL
@@ -198,7 +280,10 @@ func CompileAllNFA(patterns []string, opts Options) *Result {
 // that the mapper and simulators accept directly. sources provides
 // per-automaton labels (pattern text or network ids); it may be nil.
 func FromNFAs(nfas []*automata.NFA, sources []string) *Result {
-	res := &Result{Regexes: make([]Compiled, len(nfas))}
+	res := &Result{
+		Regexes: make([]Compiled, len(nfas)),
+		Diags:   make([]Diag, len(nfas)),
+	}
 	for i, nfa := range nfas {
 		src := fmt.Sprintf("nfa-%d", i)
 		if i < len(sources) && sources[i] != "" {
@@ -209,63 +294,14 @@ func FromNFAs(nfas []*automata.NFA, sources []string) *Result {
 			STEs: nfa.NumStates(), UnfoldedSTEs: nfa.NumStates(),
 			DecisionTrail: "imported NFA",
 		}
+		res.Diags[i] = Diag{Index: i, Code: DiagOK, Mode: ModeNFA, ModeReason: "imported NFA"}
 	}
 	return res
-}
-
-// CompileNoLNFA compiles with the LNFA route disabled: NBVA for large
-// bounded repetitions, NFA otherwise. This is the program BVAP executes
-// (it has bit-vector modules but no Shift-And datapath).
-func CompileNoLNFA(patterns []string, opts Options) *Result {
-	opts.setDefaults()
-	res := &Result{Regexes: make([]Compiled, len(patterns))}
-	for i, p := range patterns {
-		c, err := compileNoLNFAOne(p, opts)
-		if err != nil {
-			res.Errors = append(res.Errors, fmt.Errorf("pattern %d %q: %w", i, p, err))
-			continue
-		}
-		c.Index = i
-		res.Regexes[i] = *c
-	}
-	return res
-}
-
-func compileNoLNFAOne(pattern string, opts Options) (*Compiled, error) {
-	re, err := regexast.Parse(pattern)
-	if err != nil {
-		return nil, err
-	}
-	c := &Compiled{Source: pattern}
-	if regexast.MaxRepeatBound(re.Root) > opts.UnfoldThreshold {
-		root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
-		if m, err := nbva.ConstructFromNode(root); err == nil && m.UnfoldedStates() <= opts.MaxNBVAUnfolded {
-			m.StartAnchored = re.StartAnchored
-			m.EndAnchored = re.EndAnchored
-			c.Mode = ModeNBVA
-			c.NBVA = m
-			c.STEs = m.NumStates()
-			c.BVBits = m.TotalBVBits()
-			c.UnfoldedSTEs = m.UnfoldedStates()
-			c.DecisionTrail = "NBVA (no-LNFA compile)"
-			return c, nil
-		}
-	}
-	nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
-	if err != nil {
-		return nil, err
-	}
-	c.Mode = ModeNFA
-	c.NFA = nfa
-	c.STEs = nfa.NumStates()
-	c.UnfoldedSTEs = nfa.NumStates()
-	c.DecisionTrail = "NFA (no-LNFA compile)"
-	return c, nil
 }
 
 // CompileOne compiles a single pattern through the decision graph.
 //
-// Fig 9 decision process:
+// Fig 9 decision process (routes gated by Options.ModePolicy):
 //
 //  1. Regexes containing a bounded repetition above the unfolding
 //     threshold whose repetitions are class-level (expressible with the
@@ -277,14 +313,24 @@ func compileNoLNFAOne(pattern string, opts Options) (*Compiled, error) {
 //     the per-array state capacity.
 func CompileOne(pattern string, opts Options) (*Compiled, error) {
 	opts.setDefaults()
+	c, _, err := compilePattern(pattern, opts)
+	return c, err
+}
+
+// compilePattern runs the policy-gated decision graph for one pattern.
+// opts must already be defaulted. It is pure — no shared state — which is
+// what lets CompileContext fan patterns out across workers while keeping
+// the output byte-identical to a serial compile.
+func compilePattern(pattern string, opts Options) (*Compiled, DiagCode, error) {
 	re, err := regexast.Parse(pattern)
 	if err != nil {
-		return nil, err
+		return nil, DiagParseError, err
 	}
 	c := &Compiled{Source: pattern}
+	pol := opts.ModePolicy
 
 	// Route 1: NBVA.
-	if regexast.MaxRepeatBound(re.Root) > opts.UnfoldThreshold {
+	if pol.allowNBVA() && regexast.MaxRepeatBound(re.Root) > opts.UnfoldThreshold {
 		root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
 		if m, err := nbva.ConstructFromNode(root); err == nil {
 			if m.UnfoldedStates() <= opts.MaxNBVAUnfolded {
@@ -296,7 +342,7 @@ func CompileOne(pattern string, opts Options) (*Compiled, error) {
 				c.BVBits = m.TotalBVBits()
 				c.UnfoldedSTEs = m.UnfoldedStates()
 				c.DecisionTrail = "bounded repetition above threshold -> NBVA"
-				return c, nil
+				return c, DiagOK, nil
 			}
 			c.DecisionTrail += "NBVA capacity exceeded; "
 		} else {
@@ -306,51 +352,60 @@ func CompileOne(pattern string, opts Options) (*Compiled, error) {
 
 	// Route 2: LNFA. Small bounded repetitions are unfolded first so a
 	// pattern like a{3}b linearizes.
-	if !re.StartAnchored && !re.EndAnchored && !regexast.Nullable(re.Root) {
-		unfolded := regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold)
-		baseStates := regexast.UnfoldedStates(re.Root)
-		budget := opts.LinearBudgetFactor * baseStates
-		// LNFA regexes live in one array like NFA ones (§3.3), so the
-		// budget is also capped by the array's state capacity.
-		if budget > opts.MaxNFAStates {
-			budget = opts.MaxNFAStates
-		}
-		if seqs, err := regexast.Linearize(unfolded, budget); err == nil {
-			total := 0
-			c.Seqs = make([]LinearSeq, len(seqs))
-			for i, s := range seqs {
-				ls := LinearSeq{Classes: s, CAMMappable: true}
-				for _, cls := range s {
-					if !charclass.SingleCode(cls) {
-						ls.CAMMappable = false
+	if pol.allowLNFA() {
+		if !re.StartAnchored && !re.EndAnchored && !regexast.Nullable(re.Root) {
+			unfolded := regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold)
+			baseStates := regexast.UnfoldedStates(re.Root)
+			budget := opts.LinearBudgetFactor * baseStates
+			// LNFA regexes live in one array like NFA ones (§3.3), so the
+			// budget is also capped by the array's state capacity.
+			if budget > opts.MaxNFAStates {
+				budget = opts.MaxNFAStates
+			}
+			if seqs, err := regexast.Linearize(unfolded, budget); err == nil {
+				total := 0
+				c.Seqs = make([]LinearSeq, len(seqs))
+				for i, s := range seqs {
+					ls := LinearSeq{Classes: s, CAMMappable: true}
+					for _, cls := range s {
+						if !charclass.SingleCode(cls) {
+							ls.CAMMappable = false
+						}
 					}
+					c.Seqs[i] = ls
+					total += len(s)
 				}
-				c.Seqs[i] = ls
-				total += len(s)
+				c.Mode = ModeLNFA
+				c.STEs = total
+				c.UnfoldedSTEs = baseStates
+				if baseStates > 0 {
+					c.LinearGrowth = float64(total) / float64(baseStates)
+				}
+				c.DecisionTrail += "linearizable within 2x -> LNFA"
+				return c, DiagOK, nil
 			}
-			c.Mode = ModeLNFA
-			c.STEs = total
-			c.UnfoldedSTEs = baseStates
-			if baseStates > 0 {
-				c.LinearGrowth = float64(total) / float64(baseStates)
-			}
-			c.DecisionTrail += "linearizable within 2x -> LNFA"
-			return c, nil
+			c.DecisionTrail += "not linearizable; "
+		} else {
+			c.DecisionTrail += "anchored or nullable; "
 		}
-		c.DecisionTrail += "not linearizable; "
-	} else {
-		c.DecisionTrail += "anchored or nullable; "
 	}
 
 	// Route 3: NFA.
 	nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
 	if err != nil {
-		return nil, fmt.Errorf("compile: no mode fits: %w", err)
+		if pol&ForceNFA != 0 {
+			return nil, DiagCapacity, err
+		}
+		return nil, DiagCapacity, fmt.Errorf("compile: no mode fits: %w", err)
 	}
 	c.Mode = ModeNFA
 	c.NFA = nfa
 	c.STEs = nfa.NumStates()
 	c.UnfoldedSTEs = nfa.NumStates()
-	c.DecisionTrail += "fallback -> NFA"
-	return c, nil
+	if pol&ForceNFA != 0 {
+		c.DecisionTrail = "forced NFA"
+	} else {
+		c.DecisionTrail += "fallback -> NFA"
+	}
+	return c, DiagOK, nil
 }

@@ -1,0 +1,123 @@
+package compile
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Compile compiles every pattern with the Fig 9 decision graph, fanning
+// the per-pattern work out across Options.Parallelism workers. Patterns
+// that fail to parse or exceed every open mode's capacity produce a Diag
+// with a non-nil Err, an entry in Errors and a zero-value Compiled slot.
+func Compile(patterns []string, opts Options) *Result {
+	res, _ := CompileContext(context.Background(), patterns, opts)
+	return res
+}
+
+// CompileContext is Compile with cancellation: the worker pool stops
+// claiming patterns once ctx is done and the call returns ctx's error.
+// Per-pattern failures are not call errors — they land in Result.Diags
+// and Result.Errors; the returned error is non-nil only when the compile
+// was abandoned, in which case the partial Result is discarded (nil).
+//
+// The output is deterministic: pattern i always lands in slot i, and the
+// Result is byte-identical whatever the worker count or scheduling.
+func CompileContext(ctx context.Context, patterns []string, opts Options) (*Result, error) {
+	opts.setDefaults()
+	res := &Result{
+		Regexes: make([]Compiled, len(patterns)),
+		Diags:   make([]Diag, len(patterns)),
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(patterns) {
+		workers = len(patterns)
+	}
+
+	if workers <= 1 {
+		for i, p := range patterns {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			compileSlot(res, i, p, opts)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(patterns) {
+						return
+					}
+					compileSlot(res, i, patterns[i], opts)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fold the diagnostics into the legacy Errors list serially, in input
+	// order, so error ordering never depends on worker scheduling.
+	for i := range res.Diags {
+		if d := &res.Diags[i]; d.Err != nil {
+			res.Errors = append(res.Errors, &Error{
+				Index: d.Index, Pattern: patterns[d.Index], Code: d.Code, Err: d.Err,
+			})
+		}
+	}
+	return res, nil
+}
+
+// compileSlot compiles pattern i into its Result slot. Each slot is
+// written by exactly one worker (the one that claimed index i), so no
+// synchronization is needed beyond the pool's WaitGroup.
+func compileSlot(res *Result, i int, pattern string, opts Options) {
+	c, code, err := compilePattern(pattern, opts)
+	if err != nil {
+		res.Diags[i] = Diag{Index: i, Code: code, Err: err}
+		return
+	}
+	c.Index = i
+	res.Regexes[i] = *c
+	res.Diags[i] = Diag{Index: i, Code: DiagOK, Mode: c.Mode, ModeReason: c.DecisionTrail}
+}
+
+// Fingerprint returns a content hash over everything mapping and
+// bitstream generation consume from the Result: per-pattern source, mode,
+// state/bit-vector sizes, decision trail and diagnostic outcome. Two
+// Results with equal fingerprints produce identical programs; the
+// determinism tests compare serial and parallel compiles through it.
+func (r *Result) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "compile/v1|n=%d", len(r.Regexes))
+	for i := range r.Regexes {
+		c := &r.Regexes[i]
+		fmt.Fprintf(h, "|%d:%q:%d:%d:%d:%d:%g:%q",
+			c.Index, c.Source, c.Mode, c.STEs, c.BVBits, c.UnfoldedSTEs, c.LinearGrowth, c.DecisionTrail)
+		for _, s := range c.Seqs {
+			fmt.Fprintf(h, "|seq:%d:%t", len(s.Classes), s.CAMMappable)
+		}
+	}
+	for i := range r.Diags {
+		d := &r.Diags[i]
+		fmt.Fprintf(h, "|diag:%d:%s:%q", d.Index, d.Code, d.ModeReason)
+		if d.Err != nil {
+			fmt.Fprintf(h, ":%q", d.Err.Error())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

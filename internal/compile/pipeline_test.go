@@ -1,0 +1,149 @@
+package compile
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// pipelinePatterns merges every §5.1 dataset into one multi-hundred-
+// pattern ruleset (~1000 patterns at scale 1), plus two malformed
+// patterns so diagnostic ordering is exercised too.
+func pipelinePatterns(tb testing.TB) []string {
+	tb.Helper()
+	var pats []string
+	for _, name := range workload.Names {
+		d, err := workload.Generate(name, 1, 7)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		pats = append(pats, d.Patterns...)
+	}
+	if len(pats) < 500 {
+		tb.Fatalf("merged workload too small: %d patterns", len(pats))
+	}
+	return append(pats, "(", "a{99999}")
+}
+
+// TestParallelCompileDeterministic is the pipeline's core contract: the
+// Result is byte-identical whatever the worker count — same slot order,
+// same modes, same decision trails, same diagnostics, same fingerprint.
+// Run under -race this also shakes out unsynchronized slot writes.
+func TestParallelCompileDeterministic(t *testing.T) {
+	pats := pipelinePatterns(t)
+	serial := Compile(pats, Options{Parallelism: 1})
+	base := serial.Fingerprint()
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0) + 3} {
+		par := Compile(pats, Options{Parallelism: workers})
+		if got := par.Fingerprint(); got != base {
+			t.Fatalf("parallelism %d: fingerprint %s != serial %s", workers, got, base)
+		}
+		if !reflect.DeepEqual(par.Regexes, serial.Regexes) {
+			t.Fatalf("parallelism %d: Regexes differ from serial compile", workers)
+		}
+		if !reflect.DeepEqual(par.Diags, serial.Diags) {
+			t.Fatalf("parallelism %d: Diags differ from serial compile", workers)
+		}
+		if len(par.Errors) != len(serial.Errors) {
+			t.Fatalf("parallelism %d: %d errors != serial %d", workers, len(par.Errors), len(serial.Errors))
+		}
+		for i := range par.Errors {
+			if par.Errors[i].Error() != serial.Errors[i].Error() {
+				t.Fatalf("parallelism %d: error %d %q != serial %q", workers, i, par.Errors[i], serial.Errors[i])
+			}
+		}
+	}
+}
+
+// TestCompileContextPreCanceled: a context canceled before the call never
+// compiles anything and reports context.Canceled with no partial Result.
+func TestCompileContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		res, err := CompileContext(ctx, []string{"abc", "a{3,9}b"}, Options{Parallelism: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("parallelism %d: partial result must be discarded on cancel", workers)
+		}
+	}
+}
+
+// TestCompileContextCancelMidRuleset cancels a large compile in flight:
+// the call must return promptly (workers stop claiming patterns) and the
+// pool's goroutines must drain — no leaks.
+func TestCompileContextCancelMidRuleset(t *testing.T) {
+	pats := pipelinePatterns(t)
+	// Inflate so the compile reliably outlives the cancellation point.
+	for i := 0; i < 3; i++ {
+		pats = append(pats, pats...)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := CompileContext(ctx, pats, Options{})
+		done <- outcome{res, err}
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	select {
+	case out := <-done:
+		// The compile may legitimately finish before cancel lands on a
+		// fast machine; what is forbidden is a canceled call returning a
+		// partial Result, or hanging.
+		if out.err != nil {
+			if !errors.Is(out.err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", out.err)
+			}
+			if out.res != nil {
+				t.Fatal("canceled compile must discard its partial result")
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("CompileContext did not return after cancel")
+	}
+	// Worker goroutines must exit once the call returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutine leak after cancel: %d before, %d after", before, g)
+	}
+}
+
+// BenchmarkCompile measures the staged pipeline on the merged §5.1
+// ruleset (~1000 patterns): serial baseline vs 4 workers vs GOMAXPROCS.
+func BenchmarkCompile(b *testing.B) {
+	pats := pipelinePatterns(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+		{"parallelMax", 0}, // 0 → GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := Compile(pats, Options{Parallelism: bc.workers})
+				if len(res.Errors) != 2 {
+					b.Fatalf("expected the 2 planted bad patterns, got %d errors", len(res.Errors))
+				}
+			}
+		})
+	}
+}

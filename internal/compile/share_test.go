@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -66,7 +67,7 @@ func TestShareBehaviourPreserved(t *testing.T) {
 		"abcde", "abcxy", "abq(r|s)*t", "zz.*q", "abcde", // duplicate on purpose
 	}
 	_, shared := shareAllNFA(t, patterns)
-	ref, err := refmatch.Compile(patterns)
+	ref, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -133,9 +134,15 @@ const (
 // RunBaseline compiles and simulates the pattern set on a baseline
 // architecture (§5.2: same circuit models, same greedy mapping).
 func (e *Engine) RunBaseline(b Baseline, patterns []string, input []byte) (*sim.Report, error) {
+	// Baselines pin the compile mode via ModePolicy on the configured
+	// options: NFA-only fabrics force Glushkov, BVAP forbids LNFA.
+	nfaOpts := e.cfg.Compile
+	nfaOpts.ModePolicy = compile.ForceNFA
+	bvapOpts := e.cfg.Compile
+	bvapOpts.ModePolicy = compile.AllowNBVA
 	switch b {
 	case BaselineRAPNFA:
-		res := compile.CompileAllNFA(patterns, e.cfg.Compile)
+		res := compile.Compile(patterns, nfaOpts)
 		if len(res.Errors) != 0 {
 			return nil, fmt.Errorf("core: %w", res.Errors[0])
 		}
@@ -150,7 +157,7 @@ func (e *Engine) RunBaseline(b Baseline, patterns []string, input []byte) (*sim.
 		rep.Arch = string(BaselineRAPNFA)
 		return rep, nil
 	case BaselineCAMA, BaselineCA:
-		res := compile.CompileAllNFA(patterns, e.cfg.Compile)
+		res := compile.Compile(patterns, nfaOpts)
 		if len(res.Errors) != 0 {
 			return nil, fmt.Errorf("core: %w", res.Errors[0])
 		}
@@ -160,7 +167,7 @@ func (e *Engine) RunBaseline(b Baseline, patterns []string, input []byte) (*sim.
 		}
 		return sim.SimulateBaseline(string(b), res, p, input)
 	case BaselineBVAP:
-		res := compile.CompileNoLNFA(patterns, e.cfg.Compile)
+		res := compile.Compile(patterns, bvapOpts)
 		if len(res.Errors) != 0 {
 			return nil, fmt.Errorf("core: %w", res.Errors[0])
 		}
@@ -176,7 +183,7 @@ func (e *Engine) RunBaseline(b Baseline, patterns []string, input []byte) (*sim.
 
 // Match runs the software reference matcher (no hardware model).
 func (e *Engine) Match(patterns []string, input []byte) ([]refmatch.Match, error) {
-	m, err := refmatch.Compile(patterns)
+	m, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{})
 	if err != nil {
 		return nil, err
 	}

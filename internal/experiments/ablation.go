@@ -117,8 +117,8 @@ func ablateModes(cfg *Config, t *metrics.Table) error {
 			res   *compile.Result
 		}{
 			{"full RAP (3 modes)", compile.Compile(d.Patterns, compile.Options{})},
-			{"no LNFA mode", compile.CompileNoLNFA(d.Patterns, compile.Options{})},
-			{"NFA only", compile.CompileAllNFA(d.Patterns, compile.Options{})},
+			{"no LNFA mode", compile.Compile(d.Patterns, compile.Options{ModePolicy: compile.AllowNBVA})},
+			{"NFA only", compile.Compile(d.Patterns, compile.Options{ModePolicy: compile.ForceNFA})},
 		}
 		for _, v := range variants {
 			if len(v.res.Errors) != 0 {

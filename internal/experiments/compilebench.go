@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// compileRounds is how many times each configuration compiles the merged
+// ruleset; the best round is reported so scheduler noise in the CI smoke
+// run does not masquerade as a regression.
+const compileRounds = 3
+
+// CompileBench benchmarks the staged compile pipeline on the merged §5.1
+// ruleset (~1000 patterns at scale 1): the serial baseline against 4
+// workers and GOMAXPROCS workers, with a determinism check — every
+// configuration must produce a byte-identical Result (same slot order,
+// same modes, same diagnostics) before its timing counts. `rapbench -exp
+// compile -json DIR` archives it as BENCH_compile.json; CI's bench-smoke
+// job tracks the parallel speedup over time. On a single-core host the
+// speedup column degenerates to ~1.0 — the row still guards against the
+// parallel path adding overhead.
+func CompileBench(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+
+	var patterns []string
+	for _, name := range workload.Names {
+		d, err := workload.Generate(name, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		patterns = append(patterns, d.Patterns...)
+	}
+
+	type lane struct {
+		name    string
+		workers int
+	}
+	lanes := []lane{
+		{"serial", 1},
+		{"parallel-4", 4},
+	}
+	// Add a machine-width lane unless it duplicates one already present
+	// (GOMAXPROCS is 1 or 4 on small CI hosts).
+	if w := runtime.GOMAXPROCS(0); w != 1 && w != 4 {
+		lanes = append(lanes, lane{fmt.Sprintf("parallel-%d", w), w})
+	}
+
+	run := func(workers int) (time.Duration, *compile.Result) {
+		best := time.Duration(0)
+		var res *compile.Result
+		for r := 0; r < compileRounds; r++ {
+			start := time.Now()
+			res = compile.Compile(patterns, compile.Options{Parallelism: workers})
+			if wall := time.Since(start); best == 0 || wall < best {
+				best = wall
+			}
+		}
+		return best, res
+	}
+
+	baseWall, baseRes := run(1)
+	if n := len(baseRes.Errors); n != 0 {
+		return nil, fmt.Errorf("compile bench: %d workload patterns failed to compile: %v", n, baseRes.Errors[0])
+	}
+	fp := baseRes.Fingerprint()
+
+	t := &metrics.Table{
+		Name:   "Compile pipeline: parallel per-pattern fan-out vs serial baseline",
+		Header: []string{"Config", "Workers", "Patterns", "Wall ms", "Patterns/s", "Speedup", "Deterministic"},
+	}
+	row := func(name string, workers int, wall time.Duration, deterministic bool) {
+		t.AddRow(name, workers, len(patterns),
+			float64(wall.Microseconds())/1000,
+			float64(len(patterns))/wall.Seconds(),
+			baseWall.Seconds()/wall.Seconds(),
+			deterministic)
+	}
+	row(lanes[0].name, 1, baseWall, true)
+	for _, l := range lanes[1:] {
+		wall, res := run(l.workers)
+		if got := res.Fingerprint(); got != fp {
+			return nil, fmt.Errorf("compile bench: %s fingerprint %s != serial %s", l.name, got, fp)
+		}
+		row(l.name, l.workers, wall, true)
+	}
+
+	if err := cfg.saveTable(t, "compile_bench.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

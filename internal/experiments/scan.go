@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -30,11 +31,11 @@ func ScanBench(cfg Config) (*metrics.Table, error) {
 	for i := 0; i < 24; i++ {
 		patterns = append(patterns, fmt.Sprintf("[a-d]key%02d[e-h]", i))
 	}
-	m, err := refmatch.CompileWithOptions(patterns, refmatch.Options{})
+	m, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{})
 	if err != nil {
 		return nil, err
 	}
-	plain, err := refmatch.CompileWithOptions(patterns, refmatch.Options{DisablePrefilter: true})
+	plain, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{DisablePrefilter: true})
 	if err != nil {
 		return nil, err
 	}

@@ -126,7 +126,7 @@ func compareArchs(patterns []string, input []byte, depth, bin int) ([]*sim.Repor
 	if err != nil {
 		return nil, fmt.Errorf("RAP: %w", err)
 	}
-	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	resNFA := compile.Compile(patterns, compile.Options{ModePolicy: compile.ForceNFA})
 	if len(resNFA.Errors) != 0 {
 		return nil, fmt.Errorf("all-NFA compile: %w", resNFA.Errors[0])
 	}
@@ -143,7 +143,7 @@ func compareArchs(patterns []string, input []byte, depth, bin int) ([]*sim.Repor
 	if err != nil {
 		return nil, err
 	}
-	resBV := compile.CompileNoLNFA(patterns, compile.Options{})
+	resBV := compile.Compile(patterns, compile.Options{ModePolicy: compile.AllowNBVA})
 	if len(resBV.Errors) != 0 {
 		return nil, fmt.Errorf("no-LNFA compile: %w", resBV.Errors[0])
 	}

@@ -16,6 +16,7 @@
 package extern
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -61,7 +62,7 @@ func MeasureCPU(patterns []string, input []byte, minDuration time.Duration) (Dev
 	if len(input) == 0 {
 		return DeviceReport{}, ErrEmptyInput
 	}
-	m, err := refmatch.Compile(patterns)
+	m, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{})
 	if err != nil {
 		return DeviceReport{}, err
 	}

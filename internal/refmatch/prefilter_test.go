@@ -1,6 +1,7 @@
 package refmatch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -13,11 +14,11 @@ import (
 // compilePair compiles the same patterns with the prefilter on and off.
 func compilePair(t testing.TB, patterns []string) (pf, plain *Matcher) {
 	t.Helper()
-	pf, err := CompileWithOptions(patterns, Options{})
+	pf, err := Compile(context.Background(), patterns, Options{})
 	if err != nil {
 		t.Fatalf("compile (prefilter): %v", err)
 	}
-	plain, err = CompileWithOptions(patterns, Options{DisablePrefilter: true})
+	plain, err = Compile(context.Background(), patterns, Options{DisablePrefilter: true})
 	if err != nil {
 		t.Fatalf("compile (plain): %v", err)
 	}
@@ -71,7 +72,7 @@ func feedChunked(m *Matcher, input []byte, chunks []int) []Match {
 }
 
 func TestPrefilterPartition(t *testing.T) {
-	m, err := Compile([]string{"needle", "[a-z]+", "x[ab]y"})
+	m, err := Compile(context.Background(), []string{"needle", "[a-z]+", "x[ab]y"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestPrefilterPartition(t *testing.T) {
 	if !m.HasPrefilter() {
 		t.Error("HasPrefilter = false")
 	}
-	plain, err := CompileWithOptions([]string{"needle"}, Options{DisablePrefilter: true})
+	plain, err := Compile(context.Background(), []string{"needle"}, Options{DisablePrefilter: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestPrefilterChunkBoundaryLiteral(t *testing.T) {
 }
 
 func TestPrefilterSessionStats(t *testing.T) {
-	m, err := Compile([]string{"needle"})
+	m, err := Compile(context.Background(), []string{"needle"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestPrefilterSessionStats(t *testing.T) {
 		t.Errorf("SkippedBytes = %d, want most of %d", stats.SkippedBytes, len(input))
 	}
 	// A matcher with no prefiltered pattern reports zeros.
-	plain, err := CompileWithOptions([]string{"needle"}, Options{DisablePrefilter: true})
+	plain, err := Compile(context.Background(), []string{"needle"}, Options{DisablePrefilter: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestPrefilterSessionStats(t *testing.T) {
 }
 
 func TestScanIntoReuse(t *testing.T) {
-	m, err := Compile([]string{"needle", "[a-n]{3}"})
+	m, err := Compile(context.Background(), []string{"needle", "[a-n]{3}"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,8 +211,8 @@ func FuzzPrefilterDifferential(f *testing.F) {
 			return
 		}
 		// Both compiles must agree on validity.
-		pf, errPF := CompileWithOptions(patterns, Options{})
-		plain, errPlain := CompileWithOptions(patterns, Options{DisablePrefilter: true})
+		pf, errPF := Compile(context.Background(), patterns, Options{})
+		plain, errPlain := Compile(context.Background(), patterns, Options{DisablePrefilter: true})
 		if (errPF == nil) != (errPlain == nil) {
 			t.Fatalf("compile disagreement: pf=%v plain=%v", errPF, errPlain)
 		}

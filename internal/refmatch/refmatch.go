@@ -14,8 +14,12 @@
 package refmatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/automata"
 	"repro/internal/nbva"
@@ -71,6 +75,10 @@ type Options struct {
 	// scan path, bypassing the mandatory-literal prefilter. The
 	// differential tests compare the two paths for identical match sets.
 	DisablePrefilter bool
+	// Parallelism bounds the per-pattern compile worker pool; 0 means
+	// runtime.GOMAXPROCS(0), 1 compiles serially. It never changes the
+	// compiled machines, so it is excluded from Canonical.
+	Parallelism int
 }
 
 func (o *Options) setDefaults() {
@@ -136,14 +144,79 @@ type Matcher struct {
 	dfaIdx []int
 }
 
-// Compile builds a matcher for the given patterns with default options.
-func Compile(patterns []string) (*Matcher, error) {
-	return CompileWithOptions(patterns, Options{})
+// built is the stage-1 output for one pattern: the chosen engine plus
+// its machines/analysis, ready for deterministic assembly. Each slot is
+// written by exactly one compile worker.
+type built struct {
+	engine  Engine
+	seqs    []shiftand.Pattern
+	lits    [][]byte // mandatory literal set; nil keeps the pattern always-on
+	verdict prefilter.Verdict
+	nbva    *nbva.Machine
+	nfa     *automata.NFA
+	dfa     *automata.DFA
+	err     error
 }
 
-// CompileWithOptions builds a matcher with explicit options.
-func CompileWithOptions(patterns []string, opts Options) (*Matcher, error) {
+// Compile builds a matcher for the given patterns. The zero Options
+// value means defaults. Per-pattern work (parse → engine choice →
+// machine build → prefilter analysis) fans out across a bounded worker
+// pool (Options.Parallelism); the machines are then assembled serially
+// in pattern order, so the matcher is byte-identical at any parallelism.
+// A canceled ctx abandons the compile and returns ctx's error.
+//
+// Compile failures are typed: every one is a *PatternError naming the
+// pattern index and stage, with the underlying cause (for example
+// regexast.ErrBudget) reachable through errors.Is/errors.As.
+func Compile(ctx context.Context, patterns []string, opts Options) (*Matcher, error) {
 	opts.setDefaults()
+	builds := make([]built, len(patterns))
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(patterns) {
+		workers = len(patterns)
+	}
+
+	// Stage 1: per-pattern builds, embarrassingly parallel.
+	if workers <= 1 {
+		for i, p := range patterns {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			builds[i] = buildPattern(p, i, opts)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(patterns) {
+						return
+					}
+					builds[i] = buildPattern(patterns[i], i, opts)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	// The matcher is all-or-nothing; report the first failure by pattern
+	// order (not worker completion order) so the error is deterministic.
+	for i := range builds {
+		if builds[i].err != nil {
+			return nil, builds[i].err
+		}
+	}
+
+	// Stage 2: serial assembly in pattern order.
 	m := &Matcher{
 		patterns: patterns,
 		engines:  make([]Engine, len(patterns)),
@@ -152,67 +225,33 @@ func CompileWithOptions(patterns []string, opts Options) (*Matcher, error) {
 	var saPats, saFastPats []shiftand.Pattern
 	var pfLits [][]byte
 	pfWindow := 0
-	for i, p := range patterns {
-		re, err := regexast.Parse(p)
-		if err != nil {
-			return nil, fmt.Errorf("refmatch: pattern %d: %w", i, err)
-		}
-		engine := choose(re, opts)
-		m.engines[i] = engine
-		switch engine {
+	for i := range builds {
+		b := &builds[i]
+		m.engines[i] = b.engine
+		switch b.engine {
 		case EngineShiftAnd:
-			seqs, err := regexast.Linearize(re.Root, opts.LinearBudgetFactor*re.Root.States())
-			if err != nil {
-				return nil, fmt.Errorf("refmatch: pattern %d linearize: %w", i, err)
-			}
-			// Fast-path decision: a pattern with a mandatory literal set
-			// joins the prefiltered machine; the rest stay always-on.
-			var lits [][]byte
-			if opts.DisablePrefilter {
-				m.verdicts[i] = prefilter.Verdict{Reason: "prefilter disabled by options"}
-			} else {
-				lits, m.verdicts[i] = prefilter.Analyze(re.Root)
-			}
-			for _, s := range seqs {
-				if lits != nil {
-					saFastPats = append(saFastPats, shiftand.Pattern(s))
+			m.verdicts[i] = b.verdict
+			for _, s := range b.seqs {
+				if b.lits != nil {
+					saFastPats = append(saFastPats, s)
 					m.saFastPattern = append(m.saFastPattern, i)
 					if len(s) > pfWindow {
 						pfWindow = len(s)
 					}
 				} else {
-					saPats = append(saPats, shiftand.Pattern(s))
+					saPats = append(saPats, s)
 					m.saPattern = append(m.saPattern, i)
 				}
 			}
-			pfLits = append(pfLits, lits...)
+			pfLits = append(pfLits, b.lits...)
 		case EngineNBVA:
-			root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
-			mach, err := nbva.ConstructFromNode(root)
-			if err != nil {
-				return nil, fmt.Errorf("refmatch: pattern %d nbva: %w", i, err)
-			}
-			mach.StartAnchored = re.StartAnchored
-			mach.EndAnchored = re.EndAnchored
-			m.nbvas = append(m.nbvas, mach)
+			m.nbvas = append(m.nbvas, b.nbva)
 			m.nbvaIdx = append(m.nbvaIdx, i)
-		case EngineNFA, EngineDFA:
-			nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
-			if err != nil {
-				return nil, fmt.Errorf("refmatch: pattern %d nfa: %w", i, err)
-			}
-			// Fast path: a small streaming DFA, when constructible and the
-			// pattern has no anchoring or empty-match subtleties.
-			if opts.DFAStateCap > 0 && !re.StartAnchored && !re.EndAnchored && !nfa.MatchesEmpty {
-				if dfa, err := automata.BuildDFA(nfa, opts.DFAStateCap); err == nil {
-					m.engines[i] = EngineDFA
-					m.dfas = append(m.dfas, dfa)
-					m.dfaIdx = append(m.dfaIdx, i)
-					continue
-				}
-			}
-			m.engines[i] = EngineNFA
-			m.nfas = append(m.nfas, nfa)
+		case EngineDFA:
+			m.dfas = append(m.dfas, b.dfa)
+			m.dfaIdx = append(m.dfaIdx, i)
+		case EngineNFA:
+			m.nfas = append(m.nfas, b.nfa)
 			m.nfaIdx = append(m.nfaIdx, i)
 		}
 	}
@@ -243,6 +282,60 @@ func CompileWithOptions(patterns []string, opts Options) (*Matcher, error) {
 		m.pf = pf
 	}
 	return m, nil
+}
+
+// buildPattern runs the per-pattern half of compilation: parse, engine
+// choice, machine construction and prefilter analysis. It is pure, which
+// is what makes the stage-1 fan-out safe.
+func buildPattern(p string, i int, opts Options) built {
+	re, err := regexast.Parse(p)
+	if err != nil {
+		return built{err: &PatternError{Index: i, Pattern: p, Stage: StageParse, Err: err}}
+	}
+	b := built{engine: choose(re, opts)}
+	switch b.engine {
+	case EngineShiftAnd:
+		seqs, err := regexast.Linearize(re.Root, opts.LinearBudgetFactor*re.Root.States())
+		if err != nil {
+			return built{err: &PatternError{Index: i, Pattern: p, Stage: StageLinearize, Err: err}}
+		}
+		for _, s := range seqs {
+			b.seqs = append(b.seqs, shiftand.Pattern(s))
+		}
+		// Fast-path decision: a pattern with a mandatory literal set
+		// joins the prefiltered machine; the rest stay always-on.
+		if opts.DisablePrefilter {
+			b.verdict = prefilter.Verdict{Reason: "prefilter disabled by options"}
+		} else {
+			b.lits, b.verdict = prefilter.Analyze(re.Root)
+		}
+	case EngineNBVA:
+		root := regexast.SplitMinMax(regexast.UnfoldThreshold(re.Root, opts.UnfoldThreshold))
+		mach, err := nbva.ConstructFromNode(root)
+		if err != nil {
+			return built{err: &PatternError{Index: i, Pattern: p, Stage: StageNBVA, Err: err}}
+		}
+		mach.StartAnchored = re.StartAnchored
+		mach.EndAnchored = re.EndAnchored
+		b.nbva = mach
+	case EngineNFA, EngineDFA:
+		nfa, err := automata.Glushkov(re, opts.MaxNFAStates)
+		if err != nil {
+			return built{err: &PatternError{Index: i, Pattern: p, Stage: StageNFA, Err: err}}
+		}
+		// Fast path: a small streaming DFA, when constructible and the
+		// pattern has no anchoring or empty-match subtleties.
+		if opts.DFAStateCap > 0 && !re.StartAnchored && !re.EndAnchored && !nfa.MatchesEmpty {
+			if dfa, err := automata.BuildDFA(nfa, opts.DFAStateCap); err == nil {
+				b.engine = EngineDFA
+				b.dfa = dfa
+				return b
+			}
+		}
+		b.engine = EngineNFA
+		b.nfa = nfa
+	}
+	return b
 }
 
 // choose mirrors the Fig 9 decision graph at the software level: linear

@@ -1,21 +1,24 @@
 package refmatch
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
 )
 
 func TestEngineSelection(t *testing.T) {
-	m, err := Compile([]string{
+	m, err := Compile(context.Background(), []string{
 		"abcdef",     // linear -> shift-and
 		"a[bc].d?",   // linear with optional tail -> shift-and
 		"ab{10,48}c", // large bounded repetition -> nbva
 		"a(b|c)*d",   // small general -> dfa fast path
 		"x{100}",     // large exact bound -> nbva
 		"(ab|cd)+x",  // small general -> dfa fast path
-	})
+	}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +31,7 @@ func TestEngineSelection(t *testing.T) {
 }
 
 func TestScanMixedEngines(t *testing.T) {
-	m, err := Compile([]string{"cat", "d{3}g", "a(x|y)*b"})
+	m, err := Compile(context.Background(), []string{"cat", "d{3}g", "a(x|y)*b"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +52,7 @@ func TestScanMixedEngines(t *testing.T) {
 }
 
 func TestMatchOffsets(t *testing.T) {
-	m, err := Compile([]string{"ab"})
+	m, err := Compile(context.Background(), []string{"ab"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +63,7 @@ func TestMatchOffsets(t *testing.T) {
 }
 
 func TestAnchoredFallsBackToAutomata(t *testing.T) {
-	m, err := Compile([]string{"^abc", "abc$"})
+	m, err := Compile(context.Background(), []string{"^abc", "abc$"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +81,50 @@ func TestAnchoredFallsBackToAutomata(t *testing.T) {
 }
 
 func TestCompileError(t *testing.T) {
-	if _, err := Compile([]string{"("}); err == nil {
-		t.Error("expected parse error")
+	_, err := Compile(context.Background(), []string{"ok", "("}, Options{})
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	var pe *PatternError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PatternError", err, err)
+	}
+	if pe.Index != 1 || pe.Pattern != "(" || pe.Stage != StageParse {
+		t.Errorf("pattern error = %+v, want index 1 pattern ( stage parse", pe)
+	}
+	// The first failing pattern (by index) is reported even when the
+	// per-pattern builds fan out across workers.
+	_, err = Compile(context.Background(), []string{"ok", "(", ")"}, Options{Parallelism: 4})
+	pe = nil
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Errorf("parallel compile error = %v, want *PatternError at index 1", err)
+	}
+}
+
+// TestCompileParallelismEquivalent: the worker count is a throughput
+// knob, never a semantic one — engine selection and match results are
+// identical at any Parallelism.
+func TestCompileParallelismEquivalent(t *testing.T) {
+	pats := sessionTestPatterns
+	input := []byte("the cat abbbbbbbbbbbbc dddg axyb start end")
+	serial, err := Compile(context.Background(), pats, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := Compile(context.Background(), pats, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := par.Engines(), serial.Engines(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: engines %v != serial %v", workers, got, want)
+		}
+		got, want := par.Scan(input), serial.Scan(input)
+		sortMatches(got)
+		sortMatches(want)
+		if !matchesEqual(got, want) {
+			t.Fatalf("parallelism %d: matches %v != serial %v", workers, got, want)
+		}
 	}
 }
 
@@ -115,7 +160,7 @@ func TestPropAgainstStdlib(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			pats = append(pats, genPattern())
 		}
-		m, err := Compile(pats)
+		m, err := Compile(context.Background(), pats, Options{})
 		if err != nil {
 			t.Fatalf("compile %v: %v", pats, err)
 		}
@@ -176,7 +221,7 @@ func BenchmarkScan100Patterns(b *testing.B) {
 		}
 		pats = append(pats, sb.String())
 	}
-	m, err := Compile(pats)
+	m, err := Compile(context.Background(), pats, Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -195,11 +240,11 @@ func TestDFAFastPathAgreesWithNFA(t *testing.T) {
 	// The same pattern set with the DFA path disabled must produce
 	// identical matches.
 	patterns := []string{"a(b|c)*d", "(ab|cd)+x", "m.n"}
-	fast, err := Compile(patterns)
+	fast, err := Compile(context.Background(), patterns, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := CompileWithOptions(patterns, Options{DFAStateCap: -1})
+	slow, err := Compile(context.Background(), patterns, Options{DFAStateCap: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package refmatch
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -66,7 +67,7 @@ func streamAll(s *Session, input []byte, chunks []int) []Match {
 // chunking of the input produces the same match set as one whole-buffer
 // Scan, including end-anchored patterns resolved at Finish.
 func TestSessionChunkedEqualsWholeBuffer(t *testing.T) {
-	m, err := Compile(sessionTestPatterns)
+	m, err := Compile(context.Background(), sessionTestPatterns, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestSessionChunkedEqualsWholeBuffer(t *testing.T) {
 // TestSessionIsolation interleaves two sessions on one shared program and
 // checks neither sees state or matches from the other.
 func TestSessionIsolation(t *testing.T) {
-	m, err := Compile(sessionTestPatterns)
+	m, err := Compile(context.Background(), sessionTestPatterns, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestSessionIsolation(t *testing.T) {
 // TestMatcherConcurrentScan shares one compiled Matcher across many
 // goroutines (run with -race): Scan must be read-only on the Matcher.
 func TestMatcherConcurrentScan(t *testing.T) {
-	m, err := Compile(sessionTestPatterns)
+	m, err := Compile(context.Background(), sessionTestPatterns, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestMatcherConcurrentScan(t *testing.T) {
 // TestSessionFinishRestarts checks that feeding after Finish starts a
 // fresh stream at offset 0.
 func TestSessionFinishRestarts(t *testing.T) {
-	m, err := Compile([]string{"ab"})
+	m, err := Compile(context.Background(), []string{"ab"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

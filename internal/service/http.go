@@ -14,18 +14,24 @@ import (
 // maxBodyBytes bounds scan/compile request bodies (32 MiB).
 const maxBodyBytes = 32 << 20
 
-// Handler returns the HTTP surface of the service:
+// Handler returns the HTTP surface of the service. The API is versioned
+// under /v1/:
 //
-//	POST   /programs            {"patterns":[...], "options":{...}} → compile or cache-hit
-//	PUT    /programs/{id}       {"patterns":[...], "options":{...}} → live ruleset hot-swap
-//	POST   /programs/{id}/scan  raw bytes → one-shot matches
-//	POST   /sessions            {"program_id":...} → open streaming session
-//	POST   /sessions/{id}/data  raw bytes → matches in this chunk
-//	DELETE /sessions/{id}       → end-anchored matches + totals
-//	GET    /stats               → counters snapshot (JSON)
-//	GET    /metrics             → Prometheus text exposition
-//	GET    /debug/traces        → recent slow request traces
-//	GET    /healthz             → ok
+//	POST   /v1/programs            {"patterns":[...], "options":{...}} → compile or cache-hit
+//	PUT    /v1/programs/{id}       {"patterns":[...], "options":{...}} → live ruleset hot-swap
+//	POST   /v1/programs/{id}/scan  raw bytes → one-shot matches
+//	POST   /v1/sessions            {"program_id":...} → open streaming session
+//	POST   /v1/sessions/{id}/data  raw bytes → matches in this chunk
+//	DELETE /v1/sessions/{id}       → end-anchored matches + totals
+//	GET    /v1/stats               → counters snapshot (JSON)
+//	GET    /metrics                → Prometheus text exposition (unversioned)
+//	GET    /debug/traces           → recent slow request traces (unversioned)
+//	GET    /healthz                → ok (unversioned)
+//
+// The original unprefixed routes (POST /programs, ...) remain as aliases
+// for existing clients: they serve identical responses but mark each one
+// deprecated via a Deprecation header and point at the /v1 successor
+// route via a Link header.
 //
 // API routes are wrapped in the telemetry middleware: every request gets
 // a trace (continuing an incoming traceparent header), per-stage spans,
@@ -41,15 +47,28 @@ func (s *Service) Handler() http.Handler {
 	api.HandleFunc("POST /sessions/{id}/data", s.handleFeed)
 	api.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
 	api.HandleFunc("GET /stats", s.handleStats)
+	apiH := telemetry.Middleware(s.tracer, s.cfg.Logger, api)
 
 	root := http.NewServeMux()
-	root.Handle("/", telemetry.Middleware(s.tracer, s.cfg.Logger, api))
+	root.Handle("/v1/", http.StripPrefix("/v1", apiH))
+	root.Handle("/", deprecatedAlias(apiH))
 	root.Handle("GET /metrics", s.tel.Handler())
 	root.Handle("GET /debug/traces", s.tracer.Handler())
 	root.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return root
+}
+
+// deprecatedAlias serves the legacy unprefixed API routes: identical
+// behavior, plus a Deprecation marker (RFC 9745) and a Link pointing
+// clients at the versioned successor route.
+func deprecatedAlias(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=%q", r.URL.Path, "successor-version"))
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Wire types.
@@ -107,6 +126,10 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	prog, hit, err := s.Compile(r.Context(), req.Patterns, req.Options)
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+		writeServiceError(w, err) // compile-pool backpressure, not a bad ruleset
+		return
+	}
 	if err != nil {
 		writeError(w, err, http.StatusBadRequest)
 		return
@@ -126,7 +149,7 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.Update(r.Context(), r.PathValue("id"), req.Patterns, req.Options)
-	if errors.Is(err, ErrNotFound) {
+	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
 		writeServiceError(w, err)
 		return
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,7 +56,7 @@ func TestRapserveEndToEnd(t *testing.T) {
 	input := d.Input(20000, 107)
 
 	// Ground truth: direct refmatch over the whole buffer.
-	m, err := refmatch.Compile(d.Patterns)
+	m, err := refmatch.Compile(context.Background(), d.Patterns, refmatch.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

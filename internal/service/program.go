@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -87,7 +88,7 @@ func (p *Program) hwImage() (*bitstream.Image, error) {
 	p.hwMu.Lock()
 	defer p.hwMu.Unlock()
 	if p.hwImg == nil {
-		img, err := buildImage(p.Patterns, p.Opts)
+		img, err := buildImage(context.Background(), p.Patterns, p.Opts)
 		if err != nil {
 			return nil, err
 		}

@@ -32,6 +32,11 @@ type Config struct {
 	// QueueDepth is the bounded per-worker queue; default 64. A full
 	// queue rejects with ErrQueueFull (backpressure, not blocking).
 	QueueDepth int
+	// CompileWorkers sizes the dedicated compile pool. Ruleset compiles
+	// (POST /programs, PUT /programs/{id}) run there instead of on the
+	// scan shards, so a multi-hundred-pattern compile never stalls match
+	// traffic. Default max(1, GOMAXPROCS/2).
+	CompileWorkers int
 	// ProgramCacheSize caps the compiled-program LRU; default 128.
 	ProgramCacheSize int
 	// MaxSessions caps concurrently open sessions; default 4096.
@@ -55,6 +60,12 @@ func (c *Config) setDefaults() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.CompileWorkers <= 0 {
+		c.CompileWorkers = runtime.GOMAXPROCS(0) / 2
+		if c.CompileWorkers < 1 {
+			c.CompileWorkers = 1
+		}
+	}
 	if c.ProgramCacheSize <= 0 {
 		c.ProgramCacheSize = 128
 	}
@@ -72,22 +83,30 @@ func (c *Config) setDefaults() {
 // lands in a labeled histogram on the telemetry registry and as a span
 // on the ambient request trace. All methods are safe for concurrent use.
 type Service struct {
-	cfg    Config
-	cache  *programCache
-	pool   *pool
-	start  time.Time
-	tel    *telemetry.Registry
-	tracer *telemetry.Tracer
+	cfg       Config
+	cache     *programCache
+	pool      *pool
+	compilers *pool // dedicated compile workers; see Config.CompileWorkers
+	start     time.Time
+	tel       *telemetry.Registry
+	tracer    *telemetry.Tracer
 
 	mu       sync.Mutex
 	sessions map[string]*session
 
-	nextFlow atomic.Uint64
-	nextSess atomic.Uint64
+	nextFlow    atomic.Uint64
+	nextSess    atomic.Uint64
+	nextCompile atomic.Uint64
+
+	// compileHook, when set, runs on the compile worker immediately before
+	// each compile. Test seam: lets tests hold a compile open and assert
+	// scans keep flowing while it runs.
+	compileHook func()
 
 	// Per-stage latency histograms: one family, one series per stage.
 	stageCacheLookup *metrics.Histogram
 	stageCompile     *metrics.Histogram
+	stageCompileWait *metrics.Histogram
 	stageQueueWait   *metrics.Histogram
 	stageScan        *metrics.Histogram
 	stagePrefilter   *metrics.Histogram
@@ -120,20 +139,24 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg.setDefaults()
 	s := &Service{
-		cfg:      cfg,
-		cache:    newProgramCache(cfg.ProgramCacheSize),
-		pool:     newPool(cfg.Workers, cfg.QueueDepth),
-		start:    time.Now(),
-		tel:      telemetry.NewRegistry(),
-		tracer:   telemetry.NewTracer(cfg.TraceRing, cfg.SlowTrace),
-		sessions: map[string]*session{},
+		cfg:       cfg,
+		cache:     newProgramCache(cfg.ProgramCacheSize),
+		pool:      newPool(cfg.Workers, cfg.QueueDepth),
+		compilers: newPool(cfg.CompileWorkers, cfg.QueueDepth),
+		start:     time.Now(),
+		tel:       telemetry.NewRegistry(),
+		tracer:    telemetry.NewTracer(cfg.TraceRing, cfg.SlowTrace),
+		sessions:  map[string]*session{},
 	}
 	s.registerMetrics()
 	return s
 }
 
-// Close stops the worker pool. Outstanding queued tasks are drained.
-func (s *Service) Close() { s.pool.close() }
+// Close stops the worker pools. Outstanding queued tasks are drained.
+func (s *Service) Close() {
+	s.pool.close()
+	s.compilers.close()
+}
 
 // observeStage folds one completed request stage into its latency
 // histogram and, when the request carries a trace, into its span list.
@@ -143,9 +166,34 @@ func observeStage(h *metrics.Histogram, tr *telemetry.Trace, name string, start 
 	tr.AddSpan(name, start, d)
 }
 
+// runCompile executes fn on the dedicated compile pool and waits for it,
+// keeping ruleset compiles off the scan shards: a slow compile occupies a
+// compile worker, never a match worker. The gap between submission and
+// execution is the compile_queue_wait stage. A full compile queue rejects
+// with ErrQueueFull, like scan traffic.
+func (s *Service) runCompile(tr *telemetry.Trace, fn func()) error {
+	enqueued := time.Now()
+	done := make(chan struct{})
+	if err := s.compilers.submit(s.nextCompile.Add(1), func() {
+		defer close(done)
+		observeStage(s.stageCompileWait, tr, "compile_queue_wait", enqueued)
+		if s.compileHook != nil {
+			s.compileHook()
+		}
+		fn()
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
 // Compile returns the program for (patterns, opts), compiling at most
 // once per distinct content hash. The bool reports whether the request
 // was served without a fresh compile (cache hit or single-flight join).
+// Fresh compiles run on the dedicated compile pool (Config.CompileWorkers)
+// and honor ctx cancellation; duplicate in-flight requests coalesce onto
+// the one compile via the cache's single-flight.
 func (s *Service) Compile(ctx context.Context, patterns []string, opts CompileOptions) (*Program, bool, error) {
 	if len(patterns) == 0 {
 		return nil, false, fmt.Errorf("service: empty pattern list")
@@ -154,12 +202,22 @@ func (s *Service) Compile(ctx context.Context, patterns []string, opts CompileOp
 	key := programKey(patterns, opts)
 	lookup := time.Now()
 	prog, hit, err := s.cache.getOrCompile(key, func() (*Program, error) {
-		compileStart := time.Now()
-		m, err := refmatch.CompileWithOptions(patterns, opts.refmatch())
-		if err != nil {
+		var (
+			m    *refmatch.Matcher
+			cerr error
+		)
+		if err := s.runCompile(tr, func() {
+			compileStart := time.Now()
+			m, cerr = refmatch.Compile(ctx, patterns, opts.refmatch())
+			if cerr == nil {
+				observeStage(s.stageCompile, tr, "compile", compileStart)
+			}
+		}); err != nil {
 			return nil, err
 		}
-		observeStage(s.stageCompile, tr, "compile", compileStart)
+		if cerr != nil {
+			return nil, cerr
+		}
 		return &Program{
 			ID:        key,
 			Patterns:  append([]string(nil), patterns...),
@@ -423,6 +481,7 @@ type Stats struct {
 	Stages        map[string]metrics.HistogramSnapshot `json:"stages"`
 	Cache         CacheStats                           `json:"cache"`
 	Pool          PoolStats                            `json:"pool"`
+	CompilePool   PoolStats                            `json:"compile_pool"`
 	Sessions      SessionStats                         `json:"sessions"`
 	Prefilter     PrefilterStats                       `json:"prefilter"`
 	Reconfig      ReconfigStats                        `json:"reconfig"`
@@ -469,15 +528,17 @@ func (s *Service) Stats() Stats {
 		ScanMatches:   s.scanMatches.Value(),
 		ScanLatency:   s.stageScan.Snapshot(),
 		Stages: map[string]metrics.HistogramSnapshot{
-			"cache_lookup":   s.stageCacheLookup.Snapshot(),
-			"compile":        s.stageCompile.Snapshot(),
-			"queue_wait":     s.stageQueueWait.Snapshot(),
-			"scan":           s.stageScan.Snapshot(),
-			"prefilter":      s.stagePrefilter.Snapshot(),
-			"reconfig_apply": s.stageApply.Snapshot(),
+			"cache_lookup":       s.stageCacheLookup.Snapshot(),
+			"compile":            s.stageCompile.Snapshot(),
+			"compile_queue_wait": s.stageCompileWait.Snapshot(),
+			"queue_wait":         s.stageQueueWait.Snapshot(),
+			"scan":               s.stageScan.Snapshot(),
+			"prefilter":          s.stagePrefilter.Snapshot(),
+			"reconfig_apply":     s.stageApply.Snapshot(),
 		},
-		Cache: s.cache.stats(),
-		Pool:  s.pool.stats(),
+		Cache:       s.cache.stats(),
+		Pool:        s.pool.stats(),
+		CompilePool: s.compilers.stats(),
 		Sessions: SessionStats{
 			Open:   open,
 			Opened: s.opened.Value(),

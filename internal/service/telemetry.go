@@ -20,6 +20,7 @@ func (s *Service) registerMetrics() {
 	const stageHelp = "Per-stage request latency in microseconds."
 	s.stageCacheLookup = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "cache_lookup"))
 	s.stageCompile = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "compile"))
+	s.stageCompileWait = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "compile_queue_wait"))
 	s.stageQueueWait = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "queue_wait"))
 	s.stageScan = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "scan"))
 	s.stagePrefilter = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "prefilter"))
@@ -56,6 +57,13 @@ func (s *Service) registerMetrics() {
 	r.GaugeFunc("rap_queue_capacity", "Queue capacity per worker shard.", func() float64 {
 		return float64(s.pool.shards[0].q.Cap())
 	})
+
+	// Dedicated compile pool: ruleset compiles queue here instead of on
+	// the scan shards, so a slow PUT /programs never stalls match traffic.
+	r.RegisterGauge("rap_compile_queue_depth", "Compiles queued on the dedicated compile pool.", &s.compilers.queued)
+	r.RegisterCounter("rap_compile_tasks_submitted_total", "Compiles accepted by the compile pool.", &s.compilers.submitted)
+	r.RegisterCounter("rap_compile_tasks_rejected_total", "Compiles rejected with queue-full backpressure.", &s.compilers.rejected)
+	r.GaugeFunc("rap_compile_workers", "Compile pool worker count.", func() float64 { return float64(len(s.compilers.shards)) })
 
 	// Program cache.
 	r.RegisterCounter("rap_cache_hits_total", "Program cache hits.", &s.cache.hits)

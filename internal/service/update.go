@@ -37,13 +37,17 @@ type UpdateResult struct {
 
 // buildImage runs the hardware half of the pipeline — compile, map,
 // bitstream — for a pattern set, producing the deployment image the
-// reconfiguration delta is computed over.
-func buildImage(patterns []string, opts CompileOptions) (*bitstream.Image, error) {
-	res := compile.Compile(patterns, compile.Options{
+// reconfiguration delta is computed over. Cancelling ctx abandons the
+// compile between patterns.
+func buildImage(ctx context.Context, patterns []string, opts CompileOptions) (*bitstream.Image, error) {
+	res, err := compile.CompileContext(ctx, patterns, compile.Options{
 		UnfoldThreshold:    opts.UnfoldThreshold,
 		LinearBudgetFactor: opts.LinearBudgetFactor,
 		MaxNFAStates:       opts.MaxNFAStates,
 	})
+	if err != nil {
+		return nil, err
+	}
 	if len(res.Errors) != 0 {
 		return nil, res.Errors[0]
 	}
@@ -62,36 +66,63 @@ func buildImage(patterns []string, opts CompileOptions) (*bitstream.Image, error
 // until they close; new sessions and one-shot scans see the new ruleset
 // from the moment Update returns. This mirrors the hardware semantics of
 // SimulateRAPReconfig: no automaton state migrates across the swap.
+//
+// The expensive half — compiling the new ruleset and building its
+// deployment image — runs on the dedicated compile pool with no service
+// lock held, so concurrent scans and streams proceed untouched while the
+// replacement builds. Only the diff and the pointer swap are serialized
+// under the update lock.
 func (s *Service) Update(ctx context.Context, programID string, patterns []string, opts CompileOptions) (*UpdateResult, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("service: empty pattern list")
 	}
 	tr := telemetry.TraceFromContext(ctx)
-	// Serialize updates so concurrent swaps of one ID cannot interleave
-	// their read-modify-replace and lose a generation.
+	// Fail fast on unknown IDs before paying for a compile.
+	if _, ok := s.lookup(tr, programID); !ok {
+		return nil, fmt.Errorf("%w: program %s", ErrNotFound, programID)
+	}
+	t0 := time.Now()
+
+	// Phase 1 — heavy work, off the update lock and off the scan shards.
+	var (
+		m      *refmatch.Matcher
+		newImg *bitstream.Image
+		cerr   error
+	)
+	if err := s.runCompile(tr, func() {
+		compileStart := time.Now()
+		m, cerr = refmatch.Compile(ctx, patterns, opts.refmatch())
+		if cerr != nil {
+			return
+		}
+		observeStage(s.stageCompile, tr, "compile", compileStart)
+		imageEnd := tr.StartSpan("image_build")
+		newImg, cerr = buildImage(ctx, patterns, opts)
+		imageEnd()
+		if cerr != nil {
+			cerr = fmt.Errorf("service: new deployment image: %w", cerr)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+
+	// Phase 2 — serialize the read-diff-swap so concurrent updates of one
+	// ID cannot interleave and lose a generation. Re-resolve the program
+	// under the lock: if another update won the race, the diff must be
+	// against the image actually being served now.
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 	old, ok := s.lookup(tr, programID)
 	if !ok {
 		return nil, fmt.Errorf("%w: program %s", ErrNotFound, programID)
 	}
-	t0 := time.Now()
-	compileStart := time.Now()
-	m, err := refmatch.CompileWithOptions(patterns, opts.refmatch())
-	if err != nil {
-		return nil, err
-	}
-	observeStage(s.stageCompile, tr, "compile", compileStart)
-	imageEnd := tr.StartSpan("image_build")
 	oldImg, err := old.hwImage()
 	if err != nil {
 		return nil, fmt.Errorf("service: current deployment image: %w", err)
 	}
-	newImg, err := buildImage(patterns, opts)
-	if err != nil {
-		return nil, fmt.Errorf("service: new deployment image: %w", err)
-	}
-	imageEnd()
 	diffEnd := tr.StartSpan("diff")
 	delta := reconfig.Diff(oldImg, newImg)
 	deltaData, err := delta.MarshalBinary()

@@ -72,7 +72,7 @@ func runBaselineNFAArray(rep *Report, archName string, res *compile.Result, plan
 
 // --- BVAP -------------------------------------------------------------
 
-// MapBVAP places a CompileNoLNFA result onto BVAP hardware: NFA regexes
+// MapBVAP places a ModePolicy=AllowNBVA result onto BVAP hardware: NFA regexes
 // use the standard greedy NFA mapping; NBVA regexes use CAMA-style tiles
 // whose fixed Bit Vector Module provides bvapBVsPerTile slots of
 // bvapBVBits bits each.

@@ -53,7 +53,7 @@ func BenchmarkSimulateRAPLNFAOnly(b *testing.B) {
 
 func BenchmarkSimulateCAMA(b *testing.B) {
 	d := workload.MustGenerate("Snort", 0.3, 1)
-	res := compile.CompileAllNFA(d.Patterns, compile.Options{})
+	res := compile.Compile(d.Patterns, compile.Options{ModePolicy: compile.ForceNFA})
 	if len(res.Errors) != 0 {
 		b.Fatal(res.Errors[0])
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestE2EAllArchitecturesAgree(t *testing.T) {
 			d := workload.MustGenerate(name, 0.12, 77)
 			input := d.Input(8000, 5)
 
-			ref, err := refmatch.Compile(d.Patterns)
+			ref, err := refmatch.Compile(context.Background(), d.Patterns, refmatch.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -48,7 +49,7 @@ func TestE2EAllArchitecturesAgree(t *testing.T) {
 			}
 
 			// All-NFA on RAP, CAMA, CA.
-			resNFA := compile.CompileAllNFA(d.Patterns, compile.Options{})
+			resNFA := compile.Compile(d.Patterns, compile.Options{ModePolicy: compile.ForceNFA})
 			if len(resNFA.Errors) != 0 {
 				t.Fatal(resNFA.Errors[0])
 			}
@@ -74,7 +75,7 @@ func TestE2EAllArchitecturesAgree(t *testing.T) {
 			}
 
 			// BVAP.
-			resBV := compile.CompileNoLNFA(d.Patterns, compile.Options{})
+			resBV := compile.Compile(d.Patterns, compile.Options{ModePolicy: compile.AllowNBVA})
 			if len(resBV.Errors) != 0 {
 				t.Fatal(resBV.Errors[0])
 			}
@@ -196,7 +197,7 @@ func TestMultiFinalCountingConsistent(t *testing.T) {
 	if rap.Matches != want {
 		t.Errorf("RAP = %d, reference = %d", rap.Matches, want)
 	}
-	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	resNFA := compile.Compile(patterns, compile.Options{ModePolicy: compile.ForceNFA})
 	pNFA, err := mapper.Map(resNFA, mapper.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -311,7 +312,7 @@ func TestE2EAnchoredPatterns(t *testing.T) {
 		[]byte("not exact here plain"),
 		[]byte("worldly plain hello"),
 	}
-	ref, err := refmatch.Compile(patterns)
+	ref, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

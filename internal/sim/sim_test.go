@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func pipeline(t *testing.T, patterns []string, mopts mapper.Options, input []byt
 
 func refCount(t *testing.T, patterns []string, input []byte) int64 {
 	t.Helper()
-	m, err := refmatch.Compile(patterns)
+	m, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestBaselinesMatchReference(t *testing.T) {
 	want := refCount(t, patterns, input)
 
 	// CAMA / CA on all-NFA compile.
-	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	resNFA := compile.Compile(patterns, compile.Options{ModePolicy: compile.ForceNFA})
 	if len(resNFA.Errors) != 0 {
 		t.Fatal(resNFA.Errors)
 	}
@@ -91,7 +92,7 @@ func TestBaselinesMatchReference(t *testing.T) {
 	}
 
 	// BVAP on no-LNFA compile.
-	resBV := compile.CompileNoLNFA(patterns, compile.Options{})
+	resBV := compile.Compile(patterns, compile.Options{ModePolicy: compile.AllowNBVA})
 	if len(resBV.Errors) != 0 {
 		t.Fatal(resBV.Errors)
 	}
@@ -118,7 +119,7 @@ func TestNBVAModeBeatsNFAModeOnBoundedRepetitions(t *testing.T) {
 
 	nbvaRep := pipeline(t, patterns, mapper.Options{Depth: 8}, input)
 
-	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	resNFA := compile.Compile(patterns, compile.Options{ModePolicy: compile.ForceNFA})
 	if len(resNFA.Errors) != 0 {
 		t.Fatal(resNFA.Errors)
 	}
@@ -161,7 +162,7 @@ func TestLNFAModeBeatsNFAMode(t *testing.T) {
 
 	lnfaRep := pipeline(t, patterns, mapper.Options{BinSize: 8}, input)
 
-	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	resNFA := compile.Compile(patterns, compile.Options{ModePolicy: compile.ForceNFA})
 	pNFA, err := mapper.Map(resNFA, mapper.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -271,7 +272,7 @@ func TestBVAPStallsVsRAP(t *testing.T) {
 
 	rapRep := pipeline(t, patterns, mapper.Options{Depth: 32}, input)
 
-	resBV := compile.CompileNoLNFA(patterns, compile.Options{})
+	resBV := compile.Compile(patterns, compile.Options{ModePolicy: compile.AllowNBVA})
 	pBV, err := MapBVAP(resBV)
 	if err != nil {
 		t.Fatal(err)

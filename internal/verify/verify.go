@@ -8,6 +8,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"regexp"
@@ -104,7 +105,7 @@ func Run(opts Options) (*Result, error) {
 
 // runEngines returns the reference match count and every engine's count.
 func runEngines(patterns []string, input []byte) (int64, map[string]int64, error) {
-	ref, err := refmatch.Compile(patterns)
+	ref, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -141,7 +142,7 @@ func runEngines(patterns []string, input []byte) (int64, map[string]int64, error
 	}
 	counts["RAP-shared"] = rapShared.Matches
 
-	resNFA := compile.CompileAllNFA(patterns, compile.Options{})
+	resNFA := compile.Compile(patterns, compile.Options{ModePolicy: compile.ForceNFA})
 	if len(resNFA.Errors) != 0 {
 		return 0, nil, resNFA.Errors[0]
 	}
@@ -162,7 +163,7 @@ func runEngines(patterns []string, input []byte) (int64, map[string]int64, error
 		counts[archName] = rep.Matches
 	}
 
-	resBV := compile.CompileNoLNFA(patterns, compile.Options{})
+	resBV := compile.Compile(patterns, compile.Options{ModePolicy: compile.AllowNBVA})
 	if len(resBV.Errors) != 0 {
 		return 0, nil, resBV.Errors[0]
 	}
@@ -181,7 +182,7 @@ func runEngines(patterns []string, input []byte) (int64, map[string]int64, error
 // checkStdlib compares boolean containment per pattern with Go's regexp.
 func checkStdlib(trial int, patterns []string, input []byte) []Mismatch {
 	var out []Mismatch
-	m, err := refmatch.Compile(patterns)
+	m, err := refmatch.Compile(context.Background(), patterns, refmatch.Options{})
 	if err != nil {
 		return nil
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestInputPlantsMatches(t *testing.T) {
 	if len(input) != 50000 {
 		t.Fatalf("input length %d", len(input))
 	}
-	m, err := refmatch.Compile(d.Patterns)
+	m, err := refmatch.Compile(context.Background(), d.Patterns, refmatch.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestExemplarMatchesOwnPattern(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
 	for _, name := range Names {
 		d := MustGenerate(name, 0.15, 21)
-		m, err := refmatch.Compile(d.Patterns)
+		m, err := refmatch.Compile(context.Background(), d.Patterns, refmatch.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

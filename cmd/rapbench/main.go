@@ -6,6 +6,7 @@
 //	rapbench -exp all -out ./result      # everything, with CSV outputs
 //	rapbench -exp fig12 -scale 0.5 -input 50000
 //	rapbench -exp service -json ./bench  # machine-readable BENCH_service.json
+//	rapbench -exp sfa                    # data-parallel scan vs serial speedup
 //
 // Experiments: fig1, fig10a, fig10b, table2, table3, fig11, fig12, fig13,
 // table4, ablation, characterize, flows, reconfig, service, scan, compile,

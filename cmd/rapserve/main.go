@@ -56,6 +56,8 @@ func main() {
 	slowTrace := flag.Duration("slow-trace", 0, "retain only traces at least this slow in /debug/traces (0 = all)")
 	traceRing := flag.Int("trace-ring", 128, "finished traces retained for /debug/traces")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	parMin := flag.Int("parallel-scan-min-bytes", 0, "one-shot scan bodies at least this large use the data-parallel SFA path (0 = off)")
+	parWorkers := flag.Int("parallel-scan-workers", 0, "worker fan-out per parallel scan (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -77,6 +79,9 @@ func main() {
 		Logger:           logger,
 		TraceRing:        *traceRing,
 		SlowTrace:        *slowTrace,
+
+		ParallelScanMinBytes: *parMin,
+		ParallelScanWorkers:  *parWorkers,
 	})
 	defer svc.Close()
 

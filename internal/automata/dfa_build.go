@@ -1,6 +1,7 @@
 package automata
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bitvec"
@@ -23,11 +24,21 @@ type DFA struct {
 	numParts int
 }
 
-// ErrDFATooLarge is returned when subset construction exceeds the cap.
-var ErrDFATooLarge = fmt.Errorf("automata: DFA exceeds state cap")
+// ErrStateCapExceeded is the typed cap-overflow failure of subset
+// construction: BuildDFA (and the SFA union construction layered on it)
+// return an error wrapping it when the reachable subset-state count
+// exceeds the configured cap, so fallback logic (refmatch engine choice,
+// sfa parallel-scan eligibility) can branch on errors.Is instead of
+// matching message text.
+var ErrStateCapExceeded = errors.New("automata: subset construction exceeds state cap")
 
-// BuildDFA materializes the streaming DFA of the NFA, failing with
-// ErrDFATooLarge beyond cap subset states (cap <= 0 means 4096).
+// ErrDFATooLarge is the historical name for ErrStateCapExceeded, kept so
+// existing errors.Is call sites keep working.
+var ErrDFATooLarge = ErrStateCapExceeded
+
+// BuildDFA materializes the streaming DFA of the NFA, failing with an
+// error wrapping ErrStateCapExceeded beyond cap subset states (cap <= 0
+// means 4096).
 // Start-anchored NFAs are not supported (the streaming construction
 // re-injects initial states every step).
 func BuildDFA(n *NFA, cap int) (*DFA, error) {
@@ -89,7 +100,7 @@ func BuildDFA(n *NFA, cap int) (*DFA, error) {
 			next.And(labels[pi])
 			id, fresh := intern(next)
 			if fresh && len(subsets) > cap {
-				return nil, fmt.Errorf("%w: >%d states", ErrDFATooLarge, cap)
+				return nil, fmt.Errorf("%w: >%d states", ErrStateCapExceeded, cap)
 			}
 			d.trans = append(d.trans, id)
 			_ = id

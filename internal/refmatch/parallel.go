@@ -1,0 +1,330 @@
+package refmatch
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sfa"
+	"repro/internal/shiftand"
+)
+
+// parallelPlan is everything ScanParallel needs that can be computed once
+// per Matcher: the Simultaneous-FA union machine covering the DFA/NFA
+// engine patterns, and the chunk overlap that makes per-chunk Shift-And
+// rescans exact. It is immutable and shared by all sessions.
+type parallelPlan struct {
+	// sfa is the union streaming DFA over every DFA- and NFA-engine
+	// pattern, nil when the set is pure Shift-And.
+	sfa *sfa.Machine
+	// overlap is how many bytes before its chunk each worker rescans for
+	// the Shift-And machines: a packed sequence of length L only looks at
+	// the last L bytes, so saMaxLen-1 bytes of context reproduce every
+	// serial match ending inside the chunk from a fresh runner.
+	overlap int
+}
+
+// plan returns the matcher's parallel-scan plan, building it on first
+// use. A nil error means ScanParallel is byte-exact for this pattern
+// set; otherwise the error is a *ParallelizeError naming why not.
+func (m *Matcher) plan() (*parallelPlan, error) {
+	m.parOnce.Do(func() { m.par, m.parErr = m.buildPlan() })
+	return m.par, m.parErr
+}
+
+// Parallelizable reports whether Session.ScanParallel can run on this
+// pattern set, with the typed ineligibility (*ParallelizeError) when
+// not. It forces the lazy plan build.
+func (m *Matcher) Parallelizable() error {
+	_, err := m.plan()
+	return err
+}
+
+func (m *Matcher) buildPlan() (*parallelPlan, error) {
+	if m.opts.SFAStateCap < 0 {
+		return nil, &ParallelizeError{Pattern: -1, Reason: ReasonDisabled}
+	}
+	// NBVA counter state has no composable chunk function here; one such
+	// pattern makes the whole set serial (the matcher is all-or-nothing,
+	// like compilation).
+	if len(m.nbvaIdx) > 0 {
+		return nil, &ParallelizeError{Pattern: m.nbvaIdx[0], Reason: ReasonNBVAEngine}
+	}
+	nfas := m.dfaNFAs
+	pidx := m.dfaIdx
+	for j, nfa := range m.nfas {
+		// DFA-engine patterns passed these guards at compile time; the
+		// NFA-engine ones (DFA cap overflow or anchored/nullable) have not.
+		if nfa.StartAnchored || nfa.EndAnchored {
+			return nil, &ParallelizeError{Pattern: m.nfaIdx[j], Reason: ReasonAnchored}
+		}
+		if nfa.MatchesEmpty {
+			return nil, &ParallelizeError{Pattern: m.nfaIdx[j], Reason: ReasonMatchesEmpty}
+		}
+		nfas = append(nfas[:len(nfas):len(nfas)], nfa)
+		pidx = append(pidx[:len(pidx):len(pidx)], m.nfaIdx[j])
+	}
+	plan := &parallelPlan{}
+	if m.saMaxLen > 0 {
+		plan.overlap = m.saMaxLen - 1
+	}
+	if len(nfas) > 0 {
+		mach, err := sfa.Build(nfas, pidx, m.opts.SFAStateCap)
+		if err != nil {
+			return nil, &ParallelizeError{Pattern: -1, Reason: ReasonStateCap, Err: err}
+		}
+		plan.sfa = mach
+	}
+	return plan, nil
+}
+
+// ParallelStats describes the last ScanParallel call on a session. The
+// phase-1/join/phase-2/merge breakdown is the critical path of the
+// parallel scan: with W idle cores the wall time approaches
+// Phase1MaxNS + JoinNS + Phase2MaxNS + MergeNS, which the benchmark
+// compares against the serial scan to model speedup independently of
+// how many cores the host actually has.
+type ParallelStats struct {
+	Bytes   int // input length
+	Chunks  int // number of partitions scanned
+	Workers int // worker-pool bound actually used
+
+	// SFAStates is the union machine's state count (0 for a pure
+	// Shift-And set).
+	SFAStates int
+	// ReplayBytes is the total prefix length replayed in phase 2 — the
+	// bytes scanned twice because their chunk's trajectories had not yet
+	// converged.
+	ReplayBytes int
+
+	Phase1MaxNS int64 // slowest simultaneous chunk scan
+	JoinNS      int64 // serial left-to-right map join
+	Phase2MaxNS int64 // slowest prefix replay + per-chunk sort
+	MergeNS     int64 // final concatenation
+}
+
+// CriticalPathNS returns the modeled lower bound on parallel wall time.
+func (st ParallelStats) CriticalPathNS() int64 {
+	return st.Phase1MaxNS + st.JoinNS + st.Phase2MaxNS + st.MergeNS
+}
+
+// defaultMinChunk keeps partitions large enough that the per-chunk costs
+// (map materialization, convergence prefix, overlap rescan) stay small
+// against the chunk scan itself.
+const defaultMinChunk = 64 << 10
+
+// parChunk is the per-partition state of one parallel scan.
+type parChunk struct {
+	start, end int
+	matches    []Match
+	fmap       *sfa.StateMap
+	conv       int   // prefix length to replay once the entry is known
+	exit       int32 // chunk 0 only: serial exit state
+	phase1NS   int64
+	phase2NS   int64
+}
+
+// ScanParallel scans buf as one whole stream using up to workers
+// goroutines and returns every match, sorted by (End, Pattern). The
+// match set is byte-exact versus a serial Scan of the same buffer.
+//
+// The buffer is partitioned once; each worker runs the Simultaneous-FA
+// machine over its chunk (chunk 0, whose entry state is known, runs the
+// plain serial scan) and rescans the Shift-And machines with a small
+// overlap. The per-chunk state-mapping functions are then joined left to
+// right — a few table lookups — and each chunk replays only the prefix
+// before its convergence offset to recover entry-dependent reports.
+//
+// workers <= 0 means GOMAXPROCS. If the pattern set is not
+// parallelizable (NBVA engine, anchored or nullable patterns, SFA state
+// cap exceeded, or a negative cap), it returns a *ParallelizeError
+// wrapping ErrNotParallelizable and scans nothing: the caller falls back
+// to the serial path. The session's engine state is not consumed — a
+// parallel scan is stateless with respect to the session's stream.
+func (s *Session) ScanParallel(ctx context.Context, buf []byte, workers int) ([]Match, error) {
+	return s.scanParallel(ctx, buf, workers, defaultMinChunk)
+}
+
+func (s *Session) scanParallel(ctx context.Context, buf []byte, workers, minChunk int) ([]Match, error) {
+	plan, err := s.m.plan()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	nChunks := workers
+	if maxChunks := (len(buf) + minChunk - 1) / minChunk; nChunks > maxChunks {
+		nChunks = maxChunks
+	}
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	chunks := make([]parChunk, nChunks)
+	for i := range chunks {
+		chunks[i].start = i * len(buf) / nChunks
+		chunks[i].end = (i + 1) * len(buf) / nChunks
+	}
+
+	m := s.m
+	runPhase := func(phase func(c *parChunk, i int)) {
+		n := workers
+		if n > nChunks {
+			n = nChunks
+		}
+		if n <= 1 {
+			for i := range chunks {
+				if ctx.Err() != nil {
+					return
+				}
+				phase(&chunks[i], i)
+			}
+			return
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= nChunks {
+						return
+					}
+					phase(&chunks[i], i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: independent chunk scans.
+	runPhase(func(c *parChunk, i int) {
+		t0 := time.Now()
+		data := buf[c.start:c.end]
+		if plan.sfa != nil {
+			if i == 0 {
+				c.exit = plan.sfa.ScanFrom(0, data, c.start, func(p int32, end int) {
+					c.matches = append(c.matches, Match{Pattern: int(p), End: end})
+				})
+			} else {
+				c.fmap, c.conv = plan.sfa.MapChunk(data, c.start, func(p int32, end int) {
+					c.matches = append(c.matches, Match{Pattern: int(p), End: end})
+				})
+			}
+		}
+		if m.sa != nil || m.saFast != nil {
+			lo := c.start - plan.overlap
+			if lo < 0 {
+				lo = 0
+			}
+			scan := func(mach *shiftand.Machine, pidx []int) {
+				r := shiftand.NewRunner(mach)
+				r.ScanChunk(buf[lo:c.end], lo, func(p, end int) {
+					if end >= c.start {
+						c.matches = append(c.matches, Match{Pattern: pidx[p], End: end})
+					}
+				})
+			}
+			// Both machines run always-on here; the literal prefilter is a
+			// pure optimization of the serial streaming path and gating it
+			// per chunk would cost more than it saves.
+			if m.sa != nil {
+				scan(m.sa, m.saPattern)
+			}
+			if m.saFast != nil {
+				scan(m.saFast, m.saFastPattern)
+			}
+		}
+		c.phase1NS = time.Since(t0).Nanoseconds()
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Join: recover each chunk's true entry state with one table lookup
+	// per boundary. This is the only serial step.
+	entry := make([]int32, nChunks)
+	var joinNS int64
+	if plan.sfa != nil && nChunks > 1 {
+		t0 := time.Now()
+		e := chunks[0].exit
+		for i := 1; i < nChunks; i++ {
+			entry[i] = e
+			e = chunks[i].fmap.At(e)
+		}
+		joinNS = time.Since(t0).Nanoseconds()
+	}
+
+	// Phase 2: replay each chunk's pre-convergence prefix from its true
+	// entry state, then order the chunk's matches.
+	runPhase(func(c *parChunk, i int) {
+		t0 := time.Now()
+		if plan.sfa != nil && i > 0 && c.conv > 0 {
+			plan.sfa.ScanFrom(entry[i], buf[c.start:c.start+c.conv], c.start, func(p int32, end int) {
+				c.matches = append(c.matches, Match{Pattern: int(p), End: end})
+			})
+		}
+		sort.Slice(c.matches, func(a, b int) bool {
+			if c.matches[a].End != c.matches[b].End {
+				return c.matches[a].End < c.matches[b].End
+			}
+			return c.matches[a].Pattern < c.matches[b].Pattern
+		})
+		c.phase2NS = time.Since(t0).Nanoseconds()
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Merge: chunks own disjoint End ranges, so concatenation is ordered.
+	t0 := time.Now()
+	total := 0
+	for i := range chunks {
+		total += len(chunks[i].matches)
+	}
+	out := make([]Match, 0, total)
+	for i := range chunks {
+		out = append(out, chunks[i].matches...)
+	}
+	mergeNS := time.Since(t0).Nanoseconds()
+
+	st := ParallelStats{
+		Bytes:   len(buf),
+		Chunks:  nChunks,
+		Workers: workers,
+		JoinNS:  joinNS,
+		MergeNS: mergeNS,
+	}
+	if plan.sfa != nil {
+		st.SFAStates = plan.sfa.NumStates()
+	}
+	for i := range chunks {
+		c := &chunks[i]
+		if i > 0 {
+			st.ReplayBytes += c.conv
+		}
+		if c.phase1NS > st.Phase1MaxNS {
+			st.Phase1MaxNS = c.phase1NS
+		}
+		if c.phase2NS > st.Phase2MaxNS {
+			st.Phase2MaxNS = c.phase2NS
+		}
+	}
+	s.parStats = st
+	return out, nil
+}
+
+// ParallelStats returns the breakdown of the session's most recent
+// ScanParallel call (the zero value before any).
+func (s *Session) ParallelStats() ParallelStats { return s.parStats }

@@ -75,6 +75,13 @@ type Options struct {
 	// scan path, bypassing the mandatory-literal prefilter. The
 	// differential tests compare the two paths for identical match sets.
 	DisablePrefilter bool
+	// SFAStateCap bounds the union subset construction backing
+	// Session.ScanParallel (the Simultaneous-FA data-parallel scan): the
+	// DFA/NFA-engine patterns of the set are merged into one streaming
+	// DFA whose state count must stay under the cap, or parallel scans
+	// fall back to the serial path with ErrNotParallelizable. 0 means
+	// 4096; negative disables parallel scanning for the matcher.
+	SFAStateCap int
 	// Parallelism bounds the per-pattern compile worker pool; 0 means
 	// runtime.GOMAXPROCS(0), 1 compiles serially. It never changes the
 	// compiled machines, so it is excluded from Canonical.
@@ -94,6 +101,9 @@ func (o *Options) setDefaults() {
 	if o.DFAStateCap == 0 {
 		o.DFAStateCap = 2048
 	}
+	if o.SFAStateCap == 0 {
+		o.SFAStateCap = 4096
+	}
 }
 
 // Canonical returns a stable serialization of the options with defaults
@@ -105,8 +115,8 @@ func (o Options) Canonical() string {
 	if o.DisablePrefilter {
 		pf = 0
 	}
-	return fmt.Sprintf("refmatch/v2|lbf=%d|ut=%d|mns=%d|dfa=%d|pf=%d",
-		o.LinearBudgetFactor, o.UnfoldThreshold, o.MaxNFAStates, o.DFAStateCap, pf)
+	return fmt.Sprintf("refmatch/v3|lbf=%d|ut=%d|mns=%d|dfa=%d|pf=%d|sfa=%d",
+		o.LinearBudgetFactor, o.UnfoldThreshold, o.MaxNFAStates, o.DFAStateCap, pf, o.SFAStateCap)
 }
 
 // Match reports a pattern match ending at byte offset End of the scanned
@@ -140,8 +150,24 @@ type Matcher struct {
 	nfas   []*automata.NFA
 	nfaIdx []int
 
-	dfas   []*automata.DFA
-	dfaIdx []int
+	dfas    []*automata.DFA
+	dfaIdx  []int
+	dfaNFAs []*automata.NFA // Glushkov NFA behind each DFA, for the SFA union
+
+	// saMaxLen is the longest packed Shift-And sequence, which bounds how
+	// far back a Shift-And match can reach — the per-chunk overlap of the
+	// parallel scan path.
+	saMaxLen int
+
+	// opts are the (defaulted) compile options; ScanParallel reads the
+	// SFA cap from them when building the parallel plan.
+	opts Options
+
+	// The parallel-scan plan (SFA union machine + overlap) is built once,
+	// on first use, and shared by every session of the matcher.
+	parOnce sync.Once
+	par     *parallelPlan
+	parErr  error
 }
 
 // built is the stage-1 output for one pattern: the chosen engine plus
@@ -221,6 +247,7 @@ func Compile(ctx context.Context, patterns []string, opts Options) (*Matcher, er
 		patterns: patterns,
 		engines:  make([]Engine, len(patterns)),
 		verdicts: make([]prefilter.Verdict, len(patterns)),
+		opts:     opts,
 	}
 	var saPats, saFastPats []shiftand.Pattern
 	var pfLits [][]byte
@@ -232,6 +259,9 @@ func Compile(ctx context.Context, patterns []string, opts Options) (*Matcher, er
 		case EngineShiftAnd:
 			m.verdicts[i] = b.verdict
 			for _, s := range b.seqs {
+				if len(s) > m.saMaxLen {
+					m.saMaxLen = len(s)
+				}
 				if b.lits != nil {
 					saFastPats = append(saFastPats, s)
 					m.saFastPattern = append(m.saFastPattern, i)
@@ -250,6 +280,7 @@ func Compile(ctx context.Context, patterns []string, opts Options) (*Matcher, er
 		case EngineDFA:
 			m.dfas = append(m.dfas, b.dfa)
 			m.dfaIdx = append(m.dfaIdx, i)
+			m.dfaNFAs = append(m.dfaNFAs, b.nfa)
 		case EngineNFA:
 			m.nfas = append(m.nfas, b.nfa)
 			m.nfaIdx = append(m.nfaIdx, i)
@@ -329,6 +360,7 @@ func buildPattern(p string, i int, opts Options) built {
 			if dfa, err := automata.BuildDFA(nfa, opts.DFAStateCap); err == nil {
 				b.engine = EngineDFA
 				b.dfa = dfa
+				b.nfa = nfa // the SFA union construction rebuilds from it
 				return b
 			}
 		}

@@ -43,6 +43,9 @@ type Session struct {
 	// Finish reports the survivors.
 	endPending []Match
 	finished   bool
+
+	// parStats is the breakdown of the most recent ScanParallel call.
+	parStats ParallelStats
 }
 
 // NewSession creates a fresh session positioned at stream offset 0.

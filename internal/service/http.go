@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"repro/internal/refmatch"
 	"repro/internal/telemetry"
@@ -13,6 +14,52 @@ import (
 
 // maxBodyBytes bounds scan/compile request bodies (32 MiB).
 const maxBodyBytes = 32 << 20
+
+// maxPooledBody caps how large a body buffer the pool retains (1 MiB):
+// the occasional huge scan body is freed instead of pinning its capacity
+// for the life of the process.
+const maxPooledBody = 1 << 20
+
+var bodyPool = sync.Pool{
+	New: func() interface{} { b := make([]byte, 0, 64<<10); return &b },
+}
+
+// readBody reads the whole request body into a pooled buffer, capped at
+// maxBodyBytes (the data-plane handlers previously io.ReadAll'd a fresh
+// allocation per request). The caller must putBody the buffer once the
+// bytes are no longer referenced — safe after Scan/Feed return, since
+// matches carry offsets only and the streaming engines copy what little
+// history they keep.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	buf := (*bodyPool.Get().(*[]byte))[:0]
+	if n := r.ContentLength; n > 0 && n <= maxBodyBytes && int(n) > cap(buf) {
+		buf = make([]byte, 0, n)
+	}
+	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			putBody(buf)
+			return nil, err
+		}
+	}
+}
+
+// putBody returns a readBody buffer to the pool.
+func putBody(buf []byte) {
+	if cap(buf) > maxPooledBody {
+		return
+	}
+	b := buf[:0]
+	bodyPool.Put(&b)
+}
 
 // Handler returns the HTTP surface of the service. The API is versioned
 // under /v1/:
@@ -161,12 +208,13 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleScan(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	data, err := readBody(w, r)
 	if err != nil {
 		writeError(w, err, http.StatusBadRequest)
 		return
 	}
 	matches, err := s.Scan(r.Context(), r.PathValue("id"), data)
+	putBody(data) // Scan has returned; matches hold offsets, not bytes
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -189,13 +237,16 @@ func (s *Service) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleFeed(w http.ResponseWriter, r *http.Request) {
-	chunk, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	chunk, err := readBody(w, r)
 	if err != nil {
 		writeError(w, err, http.StatusBadRequest)
 		return
 	}
 	id := r.PathValue("id")
 	matches, err := s.Feed(r.Context(), id, chunk)
+	// Safe to recycle: the streaming engines copy the history they keep
+	// across chunks (prefilter.Stream), so no engine retains the body.
+	putBody(chunk)
 	if err != nil {
 		writeServiceError(w, err)
 		return

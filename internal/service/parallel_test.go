@@ -1,0 +1,85 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// parallelInput builds a body with matches for the test rulesets.
+func parallelInput(n int) []byte {
+	var b bytes.Buffer
+	for b.Len() < n {
+		b.WriteString("xxxxxxxxxxxxabc12xyzxxxxxxakeyexxxxxxxxfoobarxxxx")
+	}
+	return b.Bytes()[:n]
+}
+
+// TestScanParallelPath checks the service routes large one-shot bodies
+// through the SFA path, that the match set equals the serial path, and
+// that /stats records the parallel traffic.
+func TestScanParallelPath(t *testing.T) {
+	s := New(Config{Workers: 2, ParallelScanMinBytes: 1024, ParallelScanWorkers: 4})
+	defer s.Close()
+	patterns := []string{"abc[0-9]*xyz", "[a-d]key[e-h]", "foo.?bar"}
+	prog, _, err := s.Compile(context.Background(), patterns, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := parallelInput(64 << 10)
+
+	par, err := s.Scan(context.Background(), prog.ID, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := prog.Matcher.Scan(data)
+	sortMatches(serial)
+	if !matchesEqual(par, serial) {
+		t.Fatalf("parallel path: %d matches, serial: %d", len(par), len(serial))
+	}
+	if len(par) == 0 {
+		t.Fatal("fixture produced no matches")
+	}
+
+	// Below the threshold stays serial.
+	if _, err := s.Scan(context.Background(), prog.ID, data[:512]); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats().SFA
+	if st.ParallelScans != 1 {
+		t.Fatalf("parallel_scans = %d, want 1", st.ParallelScans)
+	}
+	if st.Chunks < 1 || st.Fallbacks != 0 {
+		t.Fatalf("implausible SFA stats: %+v", st)
+	}
+}
+
+// TestScanParallelFallbackCounted checks that an ineligible ruleset over
+// the threshold still answers correctly via the serial path and that the
+// typed fallback reason lands in /stats.
+func TestScanParallelFallbackCounted(t *testing.T) {
+	s := New(Config{Workers: 2, ParallelScanMinBytes: 1024})
+	defer s.Close()
+	// NBVA-engine pattern: parallel-ineligible.
+	prog, _, err := s.Compile(context.Background(), []string{"x[ab]{40,60}y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("ab"), 32<<10)
+	data = append(data, []byte("x")...)
+	got, err := s.Scan(context.Background(), prog.ID, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prog.Matcher.Scan(data)
+	if len(got) != len(want) {
+		t.Fatalf("fallback scan: %d matches, serial: %d", len(got), len(want))
+	}
+	st := s.Stats().SFA
+	if st.Fallbacks != 1 || st.FallbackReasons["nbva_engine"] != 1 {
+		t.Fatalf("fallback not counted: %+v", st)
+	}
+	if st.ParallelScans != 0 {
+		t.Fatalf("parallel_scans = %d, want 0", st.ParallelScans)
+	}
+}

@@ -19,6 +19,7 @@ type CompileOptions struct {
 	MaxNFAStates       int  `json:"max_nfa_states,omitempty"`
 	DFAStateCap        int  `json:"dfa_state_cap,omitempty"`
 	DisablePrefilter   bool `json:"disable_prefilter,omitempty"`
+	SFAStateCap        int  `json:"sfa_state_cap,omitempty"`
 }
 
 func (o CompileOptions) refmatch() refmatch.Options {
@@ -28,6 +29,7 @@ func (o CompileOptions) refmatch() refmatch.Options {
 		MaxNFAStates:       o.MaxNFAStates,
 		DFAStateCap:        o.DFAStateCap,
 		DisablePrefilter:   o.DisablePrefilter,
+		SFAStateCap:        o.SFAStateCap,
 	}
 }
 

@@ -3,6 +3,8 @@ package service
 import (
 	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/refmatch"
 	"repro/internal/telemetry"
 )
 
@@ -25,6 +27,7 @@ func (s *Service) registerMetrics() {
 	s.stageScan = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "scan"))
 	s.stagePrefilter = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "prefilter"))
 	s.stageApply = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "reconfig_apply"))
+	s.stageParallel = r.Histogram("rap_stage_duration_us", stageHelp, telemetry.L("stage", "parallel_scan"))
 
 	// Traffic totals.
 	s.scans = r.Counter("rap_scans_total", "One-shot scans plus streamed chunks processed.")
@@ -37,6 +40,22 @@ func (s *Service) registerMetrics() {
 	s.pfSkipped = r.Counter("rap_prefilter_skipped_bytes_total", "Bytes the literal prefilter proved match-free and skipped.")
 	s.pfHits = r.Counter("rap_prefilter_literal_hits_total", "Mandatory-literal occurrences found by the prefilter.")
 	s.pfWindows = r.Counter("rap_prefilter_windows_total", "Candidate windows delivered to the match automata.")
+
+	// Data-parallel (Simultaneous-FA) scan path: volume, join cost, and
+	// serial fallbacks by typed reason. The reason series are registered
+	// up front so dashboards see explicit zeros.
+	s.sfaScans = r.Counter("rap_sfa_parallel_scans_total", "One-shot scans executed on the data-parallel SFA path.")
+	s.sfaChunks = r.Counter("rap_sfa_chunks_total", "Chunks scanned by parallel-scan workers.")
+	s.sfaReplayBytes = r.Counter("rap_sfa_replay_bytes_total", "Pre-convergence prefix bytes replayed after the join.")
+	s.sfaJoin = r.Histogram("rap_sfa_join_duration_us", "Serial left-to-right state-map join per parallel scan, in microseconds.")
+	s.sfaFallbacks = map[string]*metrics.Counter{}
+	const fallbackHelp = "Parallel-eligible scans that fell back to the serial path, by reason."
+	for _, reason := range []string{
+		refmatch.ReasonDisabled, refmatch.ReasonNBVAEngine, refmatch.ReasonAnchored,
+		refmatch.ReasonMatchesEmpty, refmatch.ReasonStateCap, "other",
+	} {
+		s.sfaFallbacks[reason] = r.Counter("rap_sfa_fallback_total", fallbackHelp, telemetry.L("reason", reason))
+	}
 
 	// Session table.
 	s.opened = r.Counter("rap_sessions_opened_total", "Streaming sessions opened.")

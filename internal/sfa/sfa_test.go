@@ -1,0 +1,176 @@
+package sfa
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/regexast"
+)
+
+// buildNFAs parses and Glushkov-constructs one NFA per pattern.
+func buildNFAs(t *testing.T, patterns []string) ([]*automata.NFA, []int) {
+	t.Helper()
+	nfas := make([]*automata.NFA, len(patterns))
+	idx := make([]int, len(patterns))
+	for i, p := range patterns {
+		re, err := regexast.Parse(p)
+		if err != nil {
+			t.Fatalf("parse %q: %v", p, err)
+		}
+		nfa, err := automata.Glushkov(re, 0)
+		if err != nil {
+			t.Fatalf("glushkov %q: %v", p, err)
+		}
+		nfas[i] = nfa
+		idx[i] = i
+	}
+	return nfas, idx
+}
+
+type report struct {
+	pattern int32
+	end     int
+}
+
+func scanAll(m *Machine, input []byte) []report {
+	var out []report
+	m.ScanFrom(0, input, 0, func(p int32, end int) {
+		out = append(out, report{p, end})
+	})
+	return out
+}
+
+var testPatterns = []string{
+	"ab+c",
+	"key[0-9]*x",
+	"a.*b",
+	"x(yz|zy)w",
+}
+
+func testInput(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	alpha := []byte("abckeyxyzw0123 ")
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return in
+}
+
+// TestSerialEquivalence checks the union machine's reports against each
+// component NFA run on its own: same ends, same multiplicity.
+func TestSerialEquivalence(t *testing.T) {
+	nfas, idx := buildNFAs(t, testPatterns)
+	m, err := Build(nfas, idx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := testInput(4096, 7)
+	got := map[report]int{}
+	for _, r := range scanAll(m, input) {
+		got[r]++
+	}
+	want := map[report]int{}
+	for pi, nfa := range nfas {
+		r := automata.NewRunner(nfa)
+		for i, b := range input {
+			if r.Step(b) {
+				want[report{int32(pi), i}] += r.FinalsActive()
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("union reports differ from per-pattern NFA runs: got %d entries, want %d", len(got), len(want))
+	}
+}
+
+// TestMapChunkComposition checks that chunk functions compose: the map of
+// a concatenation equals the composition of the parts' maps, and that
+// joining maps left to right tracks ScanFrom's exit state.
+func TestMapChunkComposition(t *testing.T) {
+	nfas, idx := buildNFAs(t, testPatterns)
+	m, err := Build(nfas, idx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := testInput(2000, 11)
+	discard := func(int32, int) {}
+	for _, cut := range []int{0, 1, 7, 500, 1999, 2000} {
+		left, _ := m.MapChunk(input[:cut], 0, discard)
+		right, _ := m.MapChunk(input[cut:], cut, discard)
+		whole, _ := m.MapChunk(input, 0, discard)
+		joined := Compose(left, right)
+		for s := 0; s < m.NumStates(); s++ {
+			if joined.At(int32(s)) != whole.At(int32(s)) {
+				t.Fatalf("cut %d: compose(%d)=%d, whole=%d", cut, s, joined.At(int32(s)), whole.At(int32(s)))
+			}
+		}
+	}
+	whole, _ := m.MapChunk(input, 0, discard)
+	if exit := m.ScanFrom(0, input, 0, discard); exit != whole.At(0) {
+		t.Fatalf("map disagrees with serial exit state: %d vs %d", whole.At(0), exit)
+	}
+	id := Identity(m.NumStates())
+	if got := Compose(id, whole); !reflect.DeepEqual(got, whole) {
+		t.Fatal("identity is not a left unit of Compose")
+	}
+}
+
+// TestMapChunkReplayExactness checks the parallel reporting contract:
+// suffix reports emitted by MapChunk plus a ScanFrom replay of the
+// prefix chunk[:conv] reproduce a serial scan from any entry state.
+func TestMapChunkReplayExactness(t *testing.T) {
+	nfas, idx := buildNFAs(t, testPatterns)
+	m, err := Build(nfas, idx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := testInput(1500, 23)
+	var suffix []report
+	f, conv := m.MapChunk(input, 0, func(p int32, end int) {
+		suffix = append(suffix, report{p, end})
+	})
+	for _, entry := range []int32{0, f.At(0), int32(m.NumStates() - 1)} {
+		var serial []report
+		m.ScanFrom(entry, input, 0, func(p int32, end int) {
+			serial = append(serial, report{p, end})
+		})
+		var replayed []report
+		m.ScanFrom(entry, input[:conv], 0, func(p int32, end int) {
+			replayed = append(replayed, report{p, end})
+		})
+		replayed = append(replayed, suffix...)
+		if !reflect.DeepEqual(serial, replayed) {
+			t.Fatalf("entry %d: replay+suffix (%d reports) differs from serial (%d reports), conv=%d",
+				entry, len(replayed), len(serial), conv)
+		}
+	}
+}
+
+// TestBuildCap checks the typed cap overflow.
+func TestBuildCap(t *testing.T) {
+	nfas, idx := buildNFAs(t, []string{"a.*b.*c.*d.*e"})
+	if _, err := Build(nfas, idx, 4); !errors.Is(err, automata.ErrStateCapExceeded) {
+		t.Fatalf("want ErrStateCapExceeded, got %v", err)
+	}
+}
+
+// TestBuildRejectsAnchors checks the eligibility guards.
+func TestBuildRejectsAnchors(t *testing.T) {
+	for _, p := range []string{"^abc", "abc$"} {
+		re, err := regexast.Parse(p)
+		if err != nil {
+			t.Fatalf("parse %q: %v", p, err)
+		}
+		nfa, err := automata.Glushkov(re, 0)
+		if err != nil {
+			t.Fatalf("glushkov %q: %v", p, err)
+		}
+		if _, err := Build([]*automata.NFA{nfa}, []int{0}, 0); err == nil {
+			t.Fatalf("Build accepted anchored pattern %q", p)
+		}
+	}
+}

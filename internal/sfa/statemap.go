@@ -1,0 +1,156 @@
+package sfa
+
+// StateMap is the state-mapping function of one input chunk: At(s) is the
+// DFA state reached from entry state s after consuming the chunk. It is
+// stored as a dense vector over the live states — uint16 entries for
+// machines under 64Ki states (the common case; the default cap is 4096),
+// uint32 beyond — so a map costs NumStates×2 bytes and composes with a
+// single gather pass.
+type StateMap struct {
+	u16 []uint16
+	u32 []uint32
+}
+
+// newStateMap allocates an uninitialized map for a machine of n states.
+func newStateMap(n int) *StateMap {
+	if n <= 1<<16 {
+		return &StateMap{u16: make([]uint16, n)}
+	}
+	return &StateMap{u32: make([]uint32, n)}
+}
+
+// Identity returns the state map of the empty chunk.
+func Identity(n int) *StateMap {
+	f := newStateMap(n)
+	for i := 0; i < n; i++ {
+		f.set(i, int32(i))
+	}
+	return f
+}
+
+// Len returns the number of states the map is defined over.
+func (f *StateMap) Len() int {
+	if f.u16 != nil {
+		return len(f.u16)
+	}
+	return len(f.u32)
+}
+
+// At returns the exit state for entry state s.
+func (f *StateMap) At(s int32) int32 {
+	if f.u16 != nil {
+		return int32(f.u16[s])
+	}
+	return int32(f.u32[s])
+}
+
+func (f *StateMap) set(i int, v int32) {
+	if f.u16 != nil {
+		f.u16[i] = uint16(v)
+	} else {
+		f.u32[i] = uint32(v)
+	}
+}
+
+// Compose joins the functions of two adjacent chunks: if f maps entry
+// states across the left chunk and g across the right one, Compose(f, g)
+// maps them across the concatenation — (g ∘ f)(s) = g(f(s)).
+func Compose(f, g *StateMap) *StateMap {
+	out := newStateMap(f.Len())
+	for i := 0; i < f.Len(); i++ {
+		out.set(i, g.At(f.At(int32(i))))
+	}
+	return out
+}
+
+// MapChunk scans chunk from every DFA state simultaneously and returns
+// the chunk's state-mapping function together with the convergence
+// offset k: the first chunk offset whose reports do not depend on the
+// entry state (len(chunk) when the trajectories never fully merge).
+// Reports at offsets >= k are emitted here, during the simultaneous
+// pass, as (pattern, base+i); the caller replays only chunk[:k] via
+// ScanFrom once the join has determined the true entry state. The
+// emitted suffix reports plus a ScanFrom replay of the prefix reproduce
+// a serial scan of the chunk from any entry state, report for report.
+//
+// Cost model: each byte steps every still-distinct trajectory, so the
+// pass starts at NumStates lookups per byte and shrinks as trajectories
+// merge; streaming DFAs re-inject their initial states every step, which
+// makes full convergence the common case within a few dozen bytes. Past
+// convergence the pass runs at serial-scan speed.
+func (m *Machine) MapChunk(chunk []byte, base int, emit func(pattern int32, end int)) (*StateMap, int) {
+	n := m.numStates
+	// vals holds the distinct current states; slot[s] indexes entry state
+	// s's trajectory in vals. Trajectories only ever merge, so the O(n)
+	// slot rewrite below happens at most n-1 times per chunk.
+	vals := make([]int32, n)
+	slot := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(i)
+		slot[i] = int32(i)
+	}
+	mark := make([]uint32, n)    // state -> generation last produced
+	markSlot := make([]int32, n) // state -> slot assigned this generation
+	remap := make([]int32, n)    // old slot -> new slot for one byte's merges
+	var gen uint32
+
+	i := 0
+	for ; i < len(chunk) && len(vals) > 1; i++ {
+		row := int(m.partition[chunk[i]])
+		gen++
+		merged := false
+		w := 0
+		for k := 0; k < len(vals); k++ {
+			v := m.trans[int(vals[k])*m.numParts+row]
+			if mark[v] == gen {
+				remap[k] = markSlot[v]
+				merged = true
+				continue
+			}
+			mark[v] = gen
+			markSlot[v] = int32(w)
+			remap[k] = int32(w)
+			vals[w] = v
+			w++
+		}
+		vals = vals[:w]
+		if merged {
+			for s := range slot {
+				slot[s] = remap[slot[s]]
+			}
+		}
+	}
+
+	conv := len(chunk)
+	if len(vals) == 1 && len(chunk) > 0 {
+		// Entry-independent from here on. For n > 1 the merge happened at
+		// the step that consumed chunk[i-1], whose reports the loop above
+		// skipped (it could not know the step would converge) — back up
+		// and emit them. A single-state machine is trivially converged at
+		// offset 0 before any step.
+		s := vals[0]
+		if n > 1 {
+			conv = i - 1
+			m.emitState(s, base+conv, emit)
+		} else {
+			conv = 0
+			s = m.trans[int(s)*m.numParts+int(m.partition[chunk[0]])]
+			if m.repOff[s] != m.repOff[s+1] {
+				m.emitState(s, base, emit)
+			}
+		}
+		for j := conv + 1; j < len(chunk); j++ {
+			s = m.trans[int(s)*m.numParts+int(m.partition[chunk[j]])]
+			if m.repOff[s] != m.repOff[s+1] {
+				m.emitState(s, base+j, emit)
+			}
+		}
+		vals[0] = s
+	}
+
+	f := newStateMap(n)
+	for st := 0; st < n; st++ {
+		f.set(st, vals[slot[st]])
+	}
+	return f, conv
+}

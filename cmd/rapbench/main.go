@@ -7,10 +7,11 @@
 //	rapbench -exp fig12 -scale 0.5 -input 50000
 //	rapbench -exp service -json ./bench  # machine-readable BENCH_service.json
 //	rapbench -exp sfa                    # data-parallel scan vs serial speedup
+//	rapbench -exp qos                    # noisy-neighbor isolation (per-tenant QoS)
 //
 // Experiments: fig1, fig10a, fig10b, table2, table3, fig11, fig12, fig13,
 // table4, ablation, characterize, flows, reconfig, service, scan, compile,
-// all. The reconfig experiment is beyond-paper: it prices live ruleset
+// sfa, qos, all. The reconfig experiment is beyond-paper: it prices live ruleset
 // updates (delta bitstream + tile quiesce/reload) against full
 // redeployment; the service experiment benchmarks the serving stack
 // (cache + worker pool) against direct matcher calls; the scan experiment
@@ -18,7 +19,10 @@
 // zero-alloc kernels) against the always-on scan path on a literal-bearing
 // workload; the compile experiment measures the staged compile pipeline's
 // parallel per-pattern fan-out against the serial baseline on the merged
-// §5.1 ruleset, with a byte-identical-output determinism check.
+// §5.1 ruleset, with a byte-identical-output determinism check; the qos
+// experiment measures multi-tenant isolation — a within-limits victim
+// tenant's p99 with and without a rate-limited noisy tenant flooding the
+// same workers, asserting the victim takes zero 429s either way.
 //
 // -json DIR additionally writes one BENCH_<exp>.json per experiment —
 // result table plus config, wall time and build identity — so CI can

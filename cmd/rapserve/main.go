@@ -26,6 +26,14 @@
 // line. -pprof additionally mounts net/http/pprof under /debug/pprof/.
 // Optionally a ruleset can be preloaded at startup with -f, so the first
 // request needs no compile round trip.
+//
+// Multi-tenant QoS: requests are attributed to the tenant named by the
+// identity header (-tenant-header, default X-RAP-Tenant; absent maps to
+// "anonymous"), and -qos-config points at a JSON file of per-tenant
+// limits (weight, scan bytes/sec + burst, session and compile-slot caps,
+// speculative pre-compilation opt-in — see internal/qos.Config). SIGHUP
+// reloads the file in place: live tenants are re-limited without a
+// restart, keeping their accounting state.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/patfile"
+	"repro/internal/qos"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -58,6 +67,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	parMin := flag.Int("parallel-scan-min-bytes", 0, "one-shot scan bodies at least this large use the data-parallel SFA path (0 = off)")
 	parWorkers := flag.Int("parallel-scan-workers", 0, "worker fan-out per parallel scan (0 = GOMAXPROCS)")
+	tenantHeader := flag.String("tenant-header", "", "tenant identity header (default "+qos.DefaultHeader+")")
+	qosConfig := flag.String("qos-config", "", "JSON per-tenant limits file (SIGHUP reloads it in place)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -71,6 +82,18 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	qosCfg := qos.Config{Header: *tenantHeader}
+	if *qosConfig != "" {
+		loaded, err := qos.LoadFile(*qosConfig)
+		if err != nil {
+			fatal(err)
+		}
+		if *tenantHeader != "" {
+			loaded.Header = *tenantHeader // flag wins over file
+		}
+		qosCfg = loaded
+	}
+
 	svc := service.New(service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -82,8 +105,30 @@ func main() {
 
 		ParallelScanMinBytes: *parMin,
 		ParallelScanWorkers:  *parWorkers,
+		QoS:                  qosCfg,
 	})
 	defer svc.Close()
+
+	// SIGHUP re-reads the tenant-limits file and re-limits live tenants
+	// in place (no restart, accounting state survives).
+	if *qosConfig != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				loaded, err := qos.LoadFile(*qosConfig)
+				if err != nil {
+					logger.Error("qos reload failed", "file", *qosConfig, "err", err)
+					continue
+				}
+				if *tenantHeader != "" {
+					loaded.Header = *tenantHeader
+				}
+				svc.QoS().SetConfig(loaded)
+				logger.Info("qos reloaded", "file", *qosConfig, "tenants", len(loaded.Tenants))
+			}
+		}()
+	}
 
 	// Goroutine/heap/GC gauges land on the same /metrics endpoint as the
 	// service counters, so one scrape captures process + workload health.

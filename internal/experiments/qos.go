@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/qos"
+	"repro/internal/service"
+)
+
+// victimScans is the victim's fixed request count per phase — small
+// enough for a CI smoke run, large enough to fill the latency histogram.
+const victimScans = 32
+
+// QoSBench is the noisy-neighbor isolation benchmark: a within-limits
+// "victim" tenant scans the Snort workload first alone, then while a
+// rate-limited "noisy" tenant floods the same two-worker service from
+// several goroutines. With per-tenant admission (token bucket) and
+// per-tenant DRR queues, the victim must see zero 429s in both phases —
+// noise is absorbed by the noisy tenant's own bucket and queue — and the
+// victim's p99 under contention quantifies the residual interference.
+// `rapbench -exp qos -json DIR` archives the result as BENCH_qos.json.
+func QoSBench(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	d, input, err := cfg.dataset("Snort")
+	if err != nil {
+		return nil, err
+	}
+
+	// Two workers and shallow queues force contention; the noisy tenant
+	// gets a weight-1 share and a tight byte budget, the victim a
+	// weight-4 share and no rate limit.
+	svc := service.New(service.Config{
+		Workers:    2,
+		QueueDepth: 8,
+		QoS: qos.Config{Tenants: map[string]qos.Limits{
+			"victim": {Weight: 4},
+			"noisy":  {Weight: 1, ScanBytesPerSec: int64(len(input))},
+		}},
+	})
+	defer svc.Close()
+
+	victimCtx := qos.WithTenant(context.Background(), "victim")
+	noisyCtx := qos.WithTenant(context.Background(), "noisy")
+	prog, _, err := svc.Compile(victimCtx, d.Patterns, service.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := svc.Scan(victimCtx, prog.ID, input); err != nil { // warm
+		return nil, err
+	}
+
+	// runVictim issues the victim's sequential scans; any rejection is a
+	// failed isolation guarantee and fails the experiment.
+	runVictim := func(h *metrics.Histogram) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < victimScans; i++ {
+			t0 := time.Now()
+			if _, err := svc.Scan(victimCtx, prog.ID, input); err != nil {
+				return 0, err
+			}
+			h.Observe(time.Since(t0))
+		}
+		return time.Since(start), nil
+	}
+
+	var alone metrics.Histogram
+	aloneWall, err := runVictim(&alone)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: four noisy flooders run until the victim finishes. Their
+	// rejections (token-bucket 429s, own-queue backpressure) are expected
+	// and counted; any other error is real.
+	var (
+		contended                        metrics.Histogram
+		noisyOK, noisyThrottled, noisyQF atomic.Int64
+		noisyErr                         error
+		errOnce                          sync.Once
+		stop                             = make(chan struct{})
+		wg                               sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := svc.Scan(noisyCtx, prog.ID, input)
+				switch {
+				case err == nil:
+					noisyOK.Add(1)
+				case errors.Is(err, qos.ErrOverLimit):
+					noisyThrottled.Add(1)
+					// Honor (a slice of) Retry-After instead of spinning.
+					if ra, ok := qos.RetryAfterOf(err); ok && ra > 0 {
+						if ra > 5*time.Millisecond {
+							ra = 5 * time.Millisecond
+						}
+						time.Sleep(ra)
+					}
+				case errors.Is(err, service.ErrQueueFull):
+					noisyQF.Add(1)
+				default:
+					errOnce.Do(func() { noisyErr = err })
+					return
+				}
+			}
+		}()
+	}
+	contendedWall, verr := runVictim(&contended)
+	close(stop)
+	wg.Wait()
+	if verr != nil {
+		return nil, verr
+	}
+	if noisyErr != nil {
+		return nil, noisyErr
+	}
+
+	// Per-tenant served bytes come from the service's own accounting.
+	served := map[string]int64{}
+	throttled429 := map[string]int64{}
+	for _, ts := range svc.Stats().QoS.Tenants {
+		served[ts.Name] = ts.ScanBytes
+		for _, n := range ts.Throttled {
+			throttled429[ts.Name] += n
+		}
+	}
+
+	as, cs := alone.Snapshot(), contended.Snapshot()
+	mbps := func(wall time.Duration) float64 {
+		return float64(victimScans) * float64(len(input)) / 1e6 / wall.Seconds()
+	}
+	t := &metrics.Table{
+		Name:   "QoS isolation: victim (weight 4) alone vs under noisy (weight 1) flood",
+		Header: []string{"Tenant/phase", "Scans", "429s", "MB/s", "p50 us", "p99 us", "p99 delta x"},
+	}
+	t.AddRow("victim/alone", victimScans, 0, mbps(aloneWall), as.P50US, as.P99US, 1.0)
+	delta := 0.0
+	if as.P99US > 0 {
+		delta = float64(cs.P99US) / float64(as.P99US)
+	}
+	t.AddRow("victim/contended", victimScans, throttled429["victim"],
+		mbps(contendedWall), cs.P50US, cs.P99US, delta)
+	t.AddRow("noisy/contended", noisyOK.Load(), throttled429["noisy"]+noisyQF.Load(),
+		float64(served["noisy"])/1e6/contendedWall.Seconds(), "-", "-", "-")
+	if err := cfg.saveTable(t, "qos_bench.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

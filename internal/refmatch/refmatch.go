@@ -11,6 +11,31 @@
 // Like Hyperscan, it is built around bit-parallel Shift-And for the linear
 // patterns (the majority in several benchmarks) and falls back to NBVA /
 // NFA bitset simulation for the rest.
+//
+// # Typed errors
+//
+// Every failure the package returns is inspectable with errors.Is /
+// errors.As:
+//
+//   - Compile failures are *PatternError values naming the failing
+//     pattern index, its text and the compile Stage (StageParse,
+//     StageLinearize, StageNBVA, StageNFA); the underlying cause (for
+//     example regexast.ErrBudget) stays reachable through the Unwrap
+//     chain.
+//   - Session.ScanParallel ineligibility is a *ParallelizeError wrapping
+//     the ErrNotParallelizable sentinel and carrying a stable Reason
+//     token — one of ReasonDisabled, ReasonNBVAEngine, ReasonAnchored,
+//     ReasonMatchesEmpty or ReasonStateCap — so callers can branch with
+//     errors.Is(err, ErrNotParallelizable) and count fallbacks by reason
+//     (FallbackReason extracts the token). The tokens are part of the
+//     API: they appear verbatim as the reason label of the service's
+//     rap_sfa_fallback_total metric.
+//   - A ReasonStateCap failure additionally wraps
+//     automata.ErrStateCapExceeded, the typed subset-construction
+//     overflow also returned by automata.BuildDFA when a machine
+//     outgrows its DFA state cap. automata.ErrDFATooLarge is the
+//     historical alias for the same sentinel; errors.Is matches either
+//     name.
 package refmatch
 
 import (
@@ -86,6 +111,12 @@ type Options struct {
 	// runtime.GOMAXPROCS(0), 1 compiles serially. It never changes the
 	// compiled machines, so it is excluded from Canonical.
 	Parallelism int
+	// ForceNFA compiles every pattern on the NFA route (the paper's NFA
+	// mode): Shift-And linearization and NBVA bit vectors are skipped,
+	// so every machine is a Glushkov NFA (or its small-DFA fast path).
+	// The serving layer uses it as the alternate ruleset variant for
+	// speculative pre-compilation.
+	ForceNFA bool
 }
 
 func (o *Options) setDefaults() {
@@ -115,8 +146,12 @@ func (o Options) Canonical() string {
 	if o.DisablePrefilter {
 		pf = 0
 	}
-	return fmt.Sprintf("refmatch/v3|lbf=%d|ut=%d|mns=%d|dfa=%d|pf=%d|sfa=%d",
-		o.LinearBudgetFactor, o.UnfoldThreshold, o.MaxNFAStates, o.DFAStateCap, pf, o.SFAStateCap)
+	fn := 0
+	if o.ForceNFA {
+		fn = 1
+	}
+	return fmt.Sprintf("refmatch/v3|lbf=%d|ut=%d|mns=%d|dfa=%d|pf=%d|sfa=%d|fn=%d",
+		o.LinearBudgetFactor, o.UnfoldThreshold, o.MaxNFAStates, o.DFAStateCap, pf, o.SFAStateCap, fn)
 }
 
 // Match reports a pattern match ending at byte offset End of the scanned
@@ -375,6 +410,9 @@ func buildPattern(p string, i int, opts Options) built {
 // but Shift-And here is unanchored) go to Shift-And; bounded repetitions
 // above the threshold go to NBVA; the rest to NFA.
 func choose(re *regexast.Regex, opts Options) Engine {
+	if opts.ForceNFA {
+		return EngineNFA
+	}
 	if !re.StartAnchored && !re.EndAnchored && !regexast.Nullable(re.Root) {
 		if _, err := regexast.Linearize(re.Root, opts.LinearBudgetFactor*re.Root.States()); err == nil {
 			return EngineShiftAnd

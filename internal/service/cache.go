@@ -20,6 +20,12 @@ type programCache struct {
 	byKey    map[string]*list.Element
 	inflight map[string]*flight
 
+	// onEvict, when set, observes every program leaving the cache (LRU
+	// eviction) — the service uses it to uncharge the owning tenant's
+	// cache-byte account. Called with c.mu held; must not call back into
+	// the cache.
+	onEvict func(*Program)
+
 	hits      metrics.Counter // served from cache
 	coalesced metrics.Counter // joined an in-progress compile
 	misses    metrics.Counter // actual compiles started
@@ -78,19 +84,23 @@ func (c *programCache) getOrCompile(key string, build func() (*Program, error)) 
 }
 
 // replace atomically swaps the program stored under key for next,
-// keeping its recency slot (the hot-swap path of Service.Update). A
-// missing key inserts instead — the program may have been evicted
-// between the caller's lookup and the swap, and the update must still
-// land so new lookups see the new ruleset.
-func (c *programCache) replace(key string, next *Program) {
+// keeping its recency slot (the hot-swap path of Service.Update), and
+// returns the displaced program so the caller can settle its owner's
+// cache-byte charge. A missing key inserts instead and returns nil —
+// the program may have been evicted (and its charge already released
+// via onEvict) between the caller's lookup and the swap, and the update
+// must still land so new lookups see the new ruleset.
+func (c *programCache) replace(key string, next *Program) (displaced *Program) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
+		displaced = el.Value.(*Program)
 		el.Value = next
 		c.ll.MoveToFront(el)
-		return
+		return displaced
 	}
 	c.insertLocked(key, next)
+	return nil
 }
 
 // get returns the program by key/ID, refreshing its recency.
@@ -117,6 +127,9 @@ func (c *programCache) insertLocked(key string, p *Program) {
 		c.ll.Remove(back)
 		delete(c.byKey, victim.ID)
 		c.evictions.Inc()
+		if c.onEvict != nil {
+			c.onEvict(victim)
+		}
 	}
 }
 

@@ -20,11 +20,22 @@
 //     the CAM contents stay put.
 //
 //   - A sharded worker pool: scans execute on N workers (≈ GOMAXPROCS)
-//     behind bounded FIFO queues (internal/stream's bank-buffer FIFO),
-//     with queue-full backpressure surfaced to clients as 429s. Chunks of
-//     one session always hash to the same shard, so per-stream order is
-//     preserved without locks across scans, and per-worker flow context
-//     switches are counted exactly as the flows experiment counts them.
+//     behind bounded per-tenant FIFO queues (internal/stream's
+//     bank-buffer FIFO) served by deficit round robin, with queue-full
+//     backpressure surfaced to clients as 429s. Chunks of one session
+//     always hash to the same shard and one tenant's shard queue is
+//     FIFO, so per-stream order is preserved without locks across
+//     scans, and per-worker flow context switches are counted exactly
+//     as the flows experiment counts them.
+//
+//   - Tenant QoS (internal/qos): requests are attributed to the tenant
+//     named by the identity header; admission control (scan-byte token
+//     buckets, session caps, compile slots) rejects over-limit work
+//     with 429 + a Retry-After computed from the tenant's bucket, DRR
+//     weights divide scan bandwidth under contention, and every
+//     resource — scan bytes, compile capacity, program-cache bytes —
+//     is accounted to its tenant (rap_tenant_* on /metrics, the qos
+//     block on /v1/stats).
 //
 // Every request is traced and metered through internal/telemetry: the
 // API handlers run inside a tracing middleware (traceparent in,

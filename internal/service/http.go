@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
+	"repro/internal/qos"
 	"repro/internal/refmatch"
 	"repro/internal/telemetry"
 )
@@ -94,7 +97,7 @@ func (s *Service) Handler() http.Handler {
 	api.HandleFunc("POST /sessions/{id}/data", s.handleFeed)
 	api.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
 	api.HandleFunc("GET /stats", s.handleStats)
-	apiH := telemetry.Middleware(s.tracer, s.cfg.Logger, api)
+	apiH := s.tenantMiddleware(telemetry.Middleware(s.tracer, s.cfg.Logger, api))
 
 	root := http.NewServeMux()
 	root.Handle("/v1/", http.StripPrefix("/v1", apiH))
@@ -105,6 +108,17 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return root
+}
+
+// tenantMiddleware attaches the request's tenant identity — the value of
+// the configured identity header (default X-RAP-Tenant); absent maps to
+// the anonymous tenant — to the context, where admission control and
+// accounting pick it up.
+func (s *Service) tenantMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := qos.WithTenant(r.Context(), r.Header.Get(s.qosReg.Header()))
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // deprecatedAlias serves the legacy unprefixed API routes: identical
@@ -173,8 +187,8 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	prog, hit, err := s.Compile(r.Context(), req.Patterns, req.Options)
-	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
-		writeServiceError(w, err) // compile-pool backpressure, not a bad ruleset
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) || errors.Is(err, qos.ErrOverLimit) {
+		writeServiceError(w, err) // backpressure or admission, not a bad ruleset
 		return
 	}
 	if err != nil {
@@ -196,7 +210,8 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.Update(r.Context(), r.PathValue("id"), req.Patterns, req.Options)
-	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrQueueFull) ||
+		errors.Is(err, ErrClosed) || errors.Is(err, qos.ErrOverLimit) {
 		writeServiceError(w, err)
 		return
 	}
@@ -291,11 +306,18 @@ func toJSON(ms []refmatch.Match) []matchJSON {
 }
 
 // writeServiceError maps service errors to HTTP statuses: unknown IDs to
-// 404, backpressure (full queues, session cap) to 429, the rest to 500.
+// 404, backpressure (full queues, session cap) and per-tenant admission
+// rejections to 429, the rest to 500. Every 429 carries a Retry-After
+// header; admission rejections compute it from the tenant's token-bucket
+// refill time, the rest use the 1-second floor.
 func writeServiceError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		writeError(w, err, http.StatusNotFound)
+	case errors.Is(err, qos.ErrOverLimit):
+		ra, _ := qos.RetryAfterOf(err)
+		w.Header().Set("Retry-After", retryAfterSeconds(ra))
+		writeError(w, err, http.StatusTooManyRequests)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrSessionLimit):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, err, http.StatusTooManyRequests)
@@ -304,6 +326,16 @@ func writeServiceError(w http.ResponseWriter, err error) {
 	default:
 		writeError(w, err, http.StatusInternalServerError)
 	}
+}
+
+// retryAfterSeconds renders a Retry-After value: whole seconds, rounded
+// up, minimum 1 (the header has one-second granularity).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func writeError(w http.ResponseWriter, err error, status int) {

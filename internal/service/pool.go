@@ -5,35 +5,71 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/qos"
 	"repro/internal/stream"
 )
 
 // Errors surfaced by the worker pool.
 var (
-	// ErrQueueFull is backpressure: the target shard's queue is at
-	// capacity. HTTP maps it to 429.
+	// ErrQueueFull is backpressure: the submitting tenant's queue on the
+	// target shard is at capacity. HTTP maps it to 429. Queues are
+	// per-tenant, so one tenant's backlog never consumes another's
+	// capacity.
 	ErrQueueFull = errors.New("service: worker queue full")
 	// ErrClosed reports submission to a shut-down service.
 	ErrClosed = errors.New("service: closed")
 )
 
-// task is one unit of work: a flow identity (session or one-shot scan)
-// plus the closure to run.
+// drrQuantum is the deficit-round-robin base quantum in cost units
+// (bytes for scan traffic): every scheduling round adds quantum × weight
+// of credit to a backlogged tenant, so served bytes divide by weight.
+const drrQuantum = 32 << 10
+
+// task is one unit of work: a flow identity (session or one-shot scan),
+// its scheduling cost (input bytes; 1 for control work), and the closure
+// to run.
 type task struct {
 	flow uint64
+	cost int64
 	run  func()
 }
 
-// pool is a sharded worker pool: one goroutine per shard, each draining a
-// bounded FIFO (the same stream.FIFO that models the §3.3 bank input
-// buffers). Tasks are routed by flow, so all chunks of one session land
-// on one shard and execute in submission order — shard affinity replaces
-// per-stream locking, exactly how the bank arbiter serializes one flow's
-// data. A worker that pops a task from a different flow than its previous
-// one counts a context switch, mirroring the flows experiment's
-// accounting for multi-flow multiplexing cost.
+// tenantQueue is one tenant's bounded FIFO on one shard plus its DRR
+// state. The nil-tenant queue serves untenanted work (direct API calls
+// without a tenant context) at weight 1.
+type tenantQueue struct {
+	ten     *qos.Tenant // nil for the untenanted default queue
+	q       *stream.FIFO[task]
+	deficit int64
+	// topped marks that this queue already received its quantum for the
+	// current round-robin visit — DRR credits once per visit, not once
+	// per pop, or a lone backlogged queue would never yield the worker.
+	topped bool
+}
+
+// weight returns the queue's live fair-share weight; reading it per
+// scheduling decision makes config reloads take effect immediately.
+func (tq *tenantQueue) weight() int64 {
+	if tq.ten == nil {
+		return 1
+	}
+	return int64(tq.ten.Weight())
+}
+
+// pool is a sharded worker pool with weighted fair queueing: one
+// goroutine per shard, each serving a set of per-tenant bounded FIFOs
+// (the same stream.FIFO that models the §3.3 bank input buffers) by
+// deficit round robin. Tasks are routed to shards by flow, so all chunks
+// of one session land on one shard and — because a flow belongs to
+// exactly one tenant, whose shard queue is FIFO — execute in submission
+// order: flow affinity is preserved *within* a tenant while the DRR
+// schedule divides shard bandwidth *between* tenants by weight. A worker
+// that pops a task from a different flow than its previous one counts a
+// context switch, mirroring the flows experiment's accounting for
+// multi-flow multiplexing cost.
 type pool struct {
-	shards []*shard
+	shards     []*shard
+	queueDepth int
 
 	submitted metrics.Counter
 	rejected  metrics.Counter
@@ -44,18 +80,22 @@ type pool struct {
 }
 
 type shard struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	q        *stream.FIFO[task]
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string]*tenantQueue // tenant name -> queue; "" = untenanted
+	// ring holds the backlogged queues in round-robin order; a queue is
+	// in the ring iff it is non-empty.
+	ring     []*tenantQueue
+	next     int // ring cursor
 	closed   bool
 	lastFlow uint64
 	hasLast  bool
 }
 
 func newPool(workers, queueDepth int) *pool {
-	p := &pool{shards: make([]*shard, workers)}
+	p := &pool{shards: make([]*shard, workers), queueDepth: queueDepth}
 	for i := range p.shards {
-		sh := &shard{q: stream.NewFIFO[task](queueDepth)}
+		sh := &shard{queues: map[string]*tenantQueue{}}
 		sh.cond = sync.NewCond(&sh.mu)
 		p.shards[i] = sh
 		p.wg.Add(1)
@@ -64,20 +104,44 @@ func newPool(workers, queueDepth int) *pool {
 	return p
 }
 
-// submit enqueues run on flow's shard. It fails fast with ErrQueueFull
-// when the shard queue is at capacity — the caller turns that into
-// backpressure rather than blocking the accept path.
+// submit enqueues untenanted unit-cost work on flow's shard — the
+// compile pool and direct API paths without a tenant context use this.
 func (p *pool) submit(flow uint64, run func()) error {
+	return p.submitTask(flow, nil, 1, run)
+}
+
+// submitTask enqueues run on flow's shard under ten's queue with the
+// given DRR cost. It fails fast with ErrQueueFull when that tenant's
+// queue on the shard is at capacity — the caller turns this into
+// backpressure rather than blocking the accept path, and other tenants'
+// queues are unaffected.
+func (p *pool) submitTask(flow uint64, ten *qos.Tenant, cost int64, run func()) error {
+	if cost < 1 {
+		cost = 1
+	}
+	name := ""
+	if ten != nil {
+		name = ten.Name()
+	}
 	sh := p.shards[flow%uint64(len(p.shards))]
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
 		return ErrClosed
 	}
-	if !sh.q.Push(task{flow: flow, run: run}) {
+	tq, ok := sh.queues[name]
+	if !ok {
+		tq = &tenantQueue{ten: ten, q: stream.NewFIFO[task](p.queueDepth)}
+		sh.queues[name] = tq
+	}
+	wasEmpty := tq.q.Empty()
+	if !tq.q.Push(task{flow: flow, cost: cost, run: run}) {
 		sh.mu.Unlock()
 		p.rejected.Inc()
 		return ErrQueueFull
+	}
+	if wasEmpty {
+		sh.ring = append(sh.ring, tq)
 	}
 	p.submitted.Inc()
 	p.queued.Add(1)
@@ -86,19 +150,56 @@ func (p *pool) submit(flow uint64, run func()) error {
 	return nil
 }
 
+// popDRR pops the next task under deficit round robin. Caller holds
+// sh.mu and guarantees the ring is non-empty. The first time a visit
+// reaches a queue it earns one quantum × weight of credit; the queue
+// then keeps the turn while its deficit covers its head task and yields
+// to the next queue when it runs short (earning nothing more until the
+// rotation comes back around) — so over a full rotation every
+// backlogged tenant is served cost in proportion to its weight,
+// regardless of task sizes.
+func (sh *shard) popDRR() task {
+	for {
+		if sh.next >= len(sh.ring) {
+			sh.next = 0
+		}
+		tq := sh.ring[sh.next]
+		if !tq.topped {
+			tq.deficit += drrQuantum * tq.weight()
+			tq.topped = true
+		}
+		head, _ := tq.q.Peek()
+		if tq.deficit < head.cost {
+			tq.topped = false // a fresh quantum next visit
+			sh.next++
+			continue
+		}
+		t, _ := tq.q.Pop()
+		tq.deficit -= t.cost
+		if tq.q.Empty() {
+			// An idling tenant keeps no credit (classic DRR), so a
+			// returning burst cannot claim bandwidth it did not use.
+			tq.deficit = 0
+			tq.topped = false
+			sh.ring = append(sh.ring[:sh.next], sh.ring[sh.next+1:]...)
+		}
+		return t
+	}
+}
+
 func (p *pool) worker(sh *shard) {
 	defer p.wg.Done()
 	for {
 		sh.mu.Lock()
-		for sh.q.Empty() && !sh.closed {
+		for len(sh.ring) == 0 && !sh.closed {
 			sh.cond.Wait()
 		}
-		t, ok := sh.q.Pop()
-		if !ok {
-			// Queue empty, so we were woken for shutdown.
+		if len(sh.ring) == 0 {
+			// Closed and drained.
 			sh.mu.Unlock()
 			return
 		}
+		t := sh.popDRR()
 		if sh.hasLast && sh.lastFlow != t.flow {
 			p.switches.Inc()
 		}
@@ -123,18 +224,26 @@ func (p *pool) close() {
 // PoolStats is the JSON snapshot of the pool counters.
 type PoolStats struct {
 	Workers         int   `json:"workers"`
-	QueueCapacity   int   `json:"queue_capacity_per_worker"`
+	QueueCapacity   int   `json:"queue_capacity_per_tenant_per_worker"`
 	QueueDepth      int64 `json:"queue_depth"`
+	TenantQueues    int   `json:"tenant_queues"`
 	Submitted       int64 `json:"submitted"`
 	Rejected        int64 `json:"rejected"`
 	ContextSwitches int64 `json:"context_switches"`
 }
 
 func (p *pool) stats() PoolStats {
+	queues := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		queues += len(sh.queues)
+		sh.mu.Unlock()
+	}
 	return PoolStats{
 		Workers:         len(p.shards),
-		QueueCapacity:   p.shards[0].q.Cap(),
+		QueueCapacity:   p.queueDepth,
 		QueueDepth:      p.queued.Value(),
+		TenantQueues:    queues,
 		Submitted:       p.submitted.Value(),
 		Rejected:        p.rejected.Value(),
 		ContextSwitches: p.switches.Value(),

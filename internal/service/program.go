@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -9,6 +10,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/refmatch"
+)
+
+// ModePolicy values accepted by CompileOptions.ModePolicy.
+const (
+	// ModePolicyAll (or "") opens every Fig 9 engine route: Shift-And
+	// for linear patterns, NBVA for large bounded repetitions, NFA/DFA
+	// for the rest.
+	ModePolicyAll = "all"
+	// ModePolicyForceNFA compiles every pattern on the NFA route — the
+	// paper's NFA mode. It trades scan speed for the most uniform
+	// machine shape, and is the alternate variant built by speculative
+	// pre-compilation.
+	ModePolicyForceNFA = "force_nfa"
 )
 
 // CompileOptions is the wire form of refmatch.Options. The zero value
@@ -20,6 +34,32 @@ type CompileOptions struct {
 	DFAStateCap        int  `json:"dfa_state_cap,omitempty"`
 	DisablePrefilter   bool `json:"disable_prefilter,omitempty"`
 	SFAStateCap        int  `json:"sfa_state_cap,omitempty"`
+	// ModePolicy selects the open engine routes: "" or "all" (default,
+	// every route) or "force_nfa" (NFA mode only). Distinct policies
+	// compile to distinct cached programs, so a tenant can hold both
+	// variants of one ruleset — see qos.Limits.Precompile.
+	ModePolicy string `json:"mode_policy,omitempty"`
+}
+
+// validate rejects unknown ModePolicy values before they reach a compile.
+func (o CompileOptions) validate() error {
+	switch o.ModePolicy {
+	case "", ModePolicyAll, ModePolicyForceNFA:
+		return nil
+	}
+	return fmt.Errorf("service: unknown mode_policy %q (want %q or %q)",
+		o.ModePolicy, ModePolicyAll, ModePolicyForceNFA)
+}
+
+// altVariant returns the same options under the other ModePolicy — the
+// ruleset version speculative pre-compilation builds in the background.
+func (o CompileOptions) altVariant() CompileOptions {
+	if o.ModePolicy == ModePolicyForceNFA {
+		o.ModePolicy = ModePolicyAll
+	} else {
+		o.ModePolicy = ModePolicyForceNFA
+	}
+	return o
 }
 
 func (o CompileOptions) refmatch() refmatch.Options {
@@ -30,6 +70,7 @@ func (o CompileOptions) refmatch() refmatch.Options {
 		DFAStateCap:        o.DFAStateCap,
 		DisablePrefilter:   o.DisablePrefilter,
 		SFAStateCap:        o.SFAStateCap,
+		ForceNFA:           o.ModePolicy == ModePolicyForceNFA,
 	}
 }
 
@@ -53,6 +94,11 @@ type Program struct {
 	Opts      CompileOptions
 	// Generation counts hot-swaps behind this ID; 0 is the initial deploy.
 	Generation int64
+	// Owner is the tenant whose compile created this program; MemBytes
+	// (a model, see memEstimate) is charged to it for as long as the
+	// program stays cached.
+	Owner    string
+	MemBytes int64
 
 	// hwImg is the deployment bitstream for Patterns/Opts, built on first
 	// use (Update diffs against it to produce the delta bitstream).
@@ -70,6 +116,20 @@ type Program struct {
 	bytes    metrics.Counter
 	matches  metrics.Counter
 	sessions metrics.Counter // sessions ever opened against this program
+}
+
+// memEstimate models a compiled program's resident footprint for
+// per-tenant cache accounting: a fixed per-program base plus a
+// per-pattern term dominated by the compiled machine tables (bit masks,
+// DFA rows, prefilter literals scale with pattern length). It is a
+// deterministic model, not a heap measurement — what matters for QoS is
+// that the charge is proportional and attributable.
+func memEstimate(patterns []string) int64 {
+	total := int64(4096)
+	for _, p := range patterns {
+		total += 512 + int64(len(p))*96
+	}
+	return total
 }
 
 // getSession checks a reset Session out of the program's pool.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/prefilter"
+	"repro/internal/qos"
 	"repro/internal/refmatch"
 	"repro/internal/telemetry"
 )
@@ -59,6 +60,12 @@ type Config struct {
 	// ParallelScanWorkers bounds the per-scan worker fan-out of the
 	// parallel path; default runtime.GOMAXPROCS(0).
 	ParallelScanWorkers int
+	// QoS is the multi-tenant configuration: the identity header, the
+	// default per-tenant limits and per-tenant overrides. The zero value
+	// means one implicit unlimited tenant class (weight 1) — accounting
+	// still runs, admission never rejects. Live reconfiguration goes
+	// through Service.QoS().SetConfig.
+	QoS qos.Config
 }
 
 func (c *Config) setDefaults() {
@@ -98,9 +105,14 @@ type Service struct {
 	cache     *programCache
 	pool      *pool
 	compilers *pool // dedicated compile workers; see Config.CompileWorkers
+	qosReg    *qos.Registry
 	start     time.Time
 	tel       *telemetry.Registry
 	tracer    *telemetry.Tracer
+
+	// specWG tracks in-flight speculative pre-compiles (qos Precompile
+	// tenants); Close waits for them before stopping the pools.
+	specWG sync.WaitGroup
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -129,6 +141,7 @@ type Service struct {
 	scanMatches *metrics.Counter
 	opened      *metrics.Counter
 	closedCount *metrics.Counter
+	precompiles *metrics.Counter // speculative ModePolicy-variant compiles
 
 	// Prefilter fast-path counters, aggregated across all programs.
 	pfScanned *metrics.Counter
@@ -164,19 +177,36 @@ func New(cfg Config) *Service {
 		cache:     newProgramCache(cfg.ProgramCacheSize),
 		pool:      newPool(cfg.Workers, cfg.QueueDepth),
 		compilers: newPool(cfg.CompileWorkers, cfg.QueueDepth),
+		qosReg:    qos.NewRegistry(cfg.QoS),
 		start:     time.Now(),
 		tel:       telemetry.NewRegistry(),
 		tracer:    telemetry.NewTracer(cfg.TraceRing, cfg.SlowTrace),
 		sessions:  map[string]*session{},
 	}
+	// Eviction releases the owning tenant's cache-byte charge.
+	s.cache.onEvict = func(p *Program) {
+		s.qosReg.Tenant(p.Owner).ChargeCacheBytes(-p.MemBytes)
+	}
 	s.registerMetrics()
 	return s
 }
 
-// Close stops the worker pools. Outstanding queued tasks are drained.
+// Close stops the worker pools. Outstanding queued tasks are drained;
+// in-flight speculative pre-compiles are waited for first.
 func (s *Service) Close() {
+	s.specWG.Wait()
 	s.pool.close()
 	s.compilers.close()
+}
+
+// QoS returns the live tenant registry, for configuration reloads
+// (rapserve wires SIGHUP to SetConfig) and direct inspection.
+func (s *Service) QoS() *qos.Registry { return s.qosReg }
+
+// tenant resolves the request's tenant from ctx (the HTTP layer attaches
+// the identity-header value; absent means the anonymous tenant).
+func (s *Service) tenant(ctx context.Context) *qos.Tenant {
+	return s.qosReg.Tenant(qos.TenantName(ctx))
 }
 
 // observeStage folds one completed request stage into its latency
@@ -219,10 +249,30 @@ func (s *Service) Compile(ctx context.Context, patterns []string, opts CompileOp
 	if len(patterns) == 0 {
 		return nil, false, fmt.Errorf("service: empty pattern list")
 	}
+	if err := opts.validate(); err != nil {
+		return nil, false, err
+	}
 	tr := telemetry.TraceFromContext(ctx)
+	ten := s.tenant(ctx)
+	prog, hit, err := s.compileProgram(ctx, tr, ten, patterns, opts)
+	if err == nil && !hit {
+		s.maybePrecompile(ten, patterns, opts)
+	}
+	return prog, hit, err
+}
+
+// compileProgram is the cache-or-compile core shared by Compile and the
+// speculative pre-compile path. A fresh compile holds one of ten's
+// compile slots for its duration, and the resulting program is owned by
+// (and its modeled memory charged to) ten until eviction.
+func (s *Service) compileProgram(ctx context.Context, tr *telemetry.Trace, ten *qos.Tenant, patterns []string, opts CompileOptions) (*Program, bool, error) {
 	key := programKey(patterns, opts)
 	lookup := time.Now()
 	prog, hit, err := s.cache.getOrCompile(key, func() (*Program, error) {
+		if err := ten.AcquireCompile(); err != nil {
+			return nil, err
+		}
+		defer ten.ReleaseCompile()
 		var (
 			m    *refmatch.Matcher
 			cerr error
@@ -239,18 +289,45 @@ func (s *Service) Compile(ctx context.Context, patterns []string, opts CompileOp
 		if cerr != nil {
 			return nil, cerr
 		}
-		return &Program{
+		p := &Program{
 			ID:        key,
 			Patterns:  append([]string(nil), patterns...),
 			Matcher:   m,
 			CreatedAt: time.Now(),
 			Opts:      opts,
-		}, nil
+			Owner:     ten.Name(),
+			MemBytes:  memEstimate(patterns),
+		}
+		ten.ChargeCacheBytes(p.MemBytes)
+		return p, nil
 	})
 	if err == nil && hit {
 		observeStage(s.stageCacheLookup, tr, "cache_lookup", lookup)
 	}
 	return prog, hit, err
+}
+
+// maybePrecompile kicks off a background compile of the alternate
+// ModePolicy variant for tenants that opted in (qos.Limits.Precompile):
+// after a fresh deploy, the other engine-route version of the same
+// ruleset is already warm in the cache when the tenant switches policy.
+// The build runs on the compile pool under the tenant's compile-slot
+// budget and cache accounting like any foreground compile; failures
+// (including slot exhaustion) are silent — it is purely an optimization.
+func (s *Service) maybePrecompile(ten *qos.Tenant, patterns []string, opts CompileOptions) {
+	if !ten.Limits().Precompile {
+		return
+	}
+	alt := opts.altVariant()
+	s.specWG.Add(1)
+	go func() {
+		defer s.specWG.Done()
+		ctx := context.Background()
+		if _, hit, err := s.compileProgram(ctx, telemetry.TraceFromContext(ctx), ten, patterns, alt); err == nil && !hit {
+			ten.AccountPrecompile()
+			s.precompiles.Inc()
+		}
+	}()
 }
 
 // Program returns a cached program by ID.
@@ -264,14 +341,21 @@ func (s *Service) lookup(tr *telemetry.Trace, programID string) (*Program, bool)
 	return prog, ok
 }
 
-// runOn executes fn on the pool shard of flow and waits for it. The gap
-// between submission and execution is the queue-wait stage.
-func (s *Service) runOn(tr *telemetry.Trace, flow uint64, fn func()) error {
+// runOn executes fn on the pool shard of flow under ten's fair-share
+// queue with the given DRR cost (input bytes; min 1) and waits for it.
+// The gap between submission and execution is the queue-wait stage,
+// observed both service-wide and on the tenant's own histogram.
+func (s *Service) runOn(tr *telemetry.Trace, ten *qos.Tenant, flow uint64, cost int, fn func()) error {
 	enqueued := time.Now()
 	done := make(chan struct{})
-	if err := s.pool.submit(flow, func() {
+	if err := s.pool.submitTask(flow, ten, int64(cost), func() {
 		defer close(done)
-		observeStage(s.stageQueueWait, tr, "queue_wait", enqueued)
+		wait := time.Since(enqueued)
+		s.stageQueueWait.Observe(wait)
+		tr.AddSpan("queue_wait", enqueued, wait)
+		if ten != nil {
+			ten.ObserveQueueWait(wait)
+		}
 		fn()
 	}); err != nil {
 		return err
@@ -296,19 +380,23 @@ func (s *Service) Scan(ctx context.Context, programID string, data []byte) ([]re
 	if !ok {
 		return nil, fmt.Errorf("%w: program %s", ErrNotFound, programID)
 	}
+	ten := s.tenant(ctx)
+	if err := ten.AdmitScan(len(data)); err != nil {
+		return nil, err
+	}
 	if s.cfg.ParallelScanMinBytes > 0 && len(data) >= s.cfg.ParallelScanMinBytes {
-		matches, ran, err := s.scanParallel(ctx, tr, prog, data)
+		matches, ran, err := s.scanParallel(ctx, tr, ten, prog, data)
 		if err != nil {
 			return nil, err
 		}
 		if ran {
-			s.account(prog, nil, len(data), len(matches), prefilter.Stats{})
+			s.account(prog, nil, ten, len(data), len(matches), prefilter.Stats{})
 			return matches, nil
 		}
 	}
 	var matches []refmatch.Match
 	var pf prefilter.Stats
-	err := s.runOn(tr, s.nextFlow.Add(1), func() {
+	err := s.runOn(tr, ten, s.nextFlow.Add(1), len(data), func() {
 		st := prog.getSession()
 		scanStart := time.Now()
 		matches = st.ScanInto(data, nil)
@@ -320,7 +408,7 @@ func (s *Service) Scan(ctx context.Context, programID string, data []byte) ([]re
 	if err != nil {
 		return nil, err
 	}
-	s.account(prog, nil, len(data), len(matches), pf)
+	s.account(prog, nil, ten, len(data), len(matches), pf)
 	return matches, nil
 }
 
@@ -330,9 +418,9 @@ func (s *Service) Scan(ctx context.Context, programID string, data []byte) ([]re
 // ran=false with a nil error means the pattern set is not parallelizable
 // and the caller should take the serial path — the fallback is counted
 // here by its typed reason.
-func (s *Service) scanParallel(ctx context.Context, tr *telemetry.Trace, prog *Program, data []byte) (matches []refmatch.Match, ran bool, err error) {
+func (s *Service) scanParallel(ctx context.Context, tr *telemetry.Trace, ten *qos.Tenant, prog *Program, data []byte) (matches []refmatch.Match, ran bool, err error) {
 	var perr error
-	err = s.runOn(tr, s.nextFlow.Add(1), func() {
+	err = s.runOn(tr, ten, s.nextFlow.Add(1), len(data), func() {
 		st := prog.getSession()
 		start := time.Now()
 		matches, perr = st.ScanParallel(ctx, data, s.cfg.ParallelScanWorkers)
@@ -388,9 +476,14 @@ func (s *Service) OpenSession(ctx context.Context, programID string) (string, er
 	if !ok {
 		return "", fmt.Errorf("%w: program %s", ErrNotFound, programID)
 	}
+	ten := s.tenant(ctx)
+	if err := ten.AcquireSession(); err != nil {
+		return "", err
+	}
 	sess := &session{
 		id:      fmt.Sprintf("sess-%d", s.nextSess.Add(1)),
 		prog:    prog,
+		owner:   ten,
 		flow:    s.nextFlow.Add(1),
 		created: time.Now(),
 		stream:  prog.getSession(),
@@ -398,6 +491,7 @@ func (s *Service) OpenSession(ctx context.Context, programID string) (string, er
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
+		ten.ReleaseSession()
 		return "", ErrSessionLimit
 	}
 	s.sessions[sess.id] = sess
@@ -425,11 +519,14 @@ func (s *Service) Feed(ctx context.Context, sessionID string, chunk []byte) ([]r
 	if err != nil {
 		return nil, err
 	}
+	if err := sess.owner.AdmitScan(len(chunk)); err != nil {
+		return nil, err
+	}
 	tr := telemetry.TraceFromContext(ctx)
 	var matches []refmatch.Match
 	var pf prefilter.Stats
 	closed := false
-	err = s.runOn(tr, sess.flow, func() {
+	err = s.runOn(tr, sess.owner, sess.flow, len(chunk), func() {
 		if sess.closed {
 			closed = true
 			return
@@ -449,7 +546,7 @@ func (s *Service) Feed(ctx context.Context, sessionID string, chunk []byte) ([]r
 		return nil, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
 	}
 	sess.chunks.Inc()
-	s.account(sess.prog, sess, len(chunk), len(matches), pf)
+	s.account(sess.prog, sess, sess.owner, len(chunk), len(matches), pf)
 	return matches, nil
 }
 
@@ -463,7 +560,7 @@ func (s *Service) CloseSession(ctx context.Context, sessionID string) ([]refmatc
 	tr := telemetry.TraceFromContext(ctx)
 	var final []refmatch.Match
 	closed := false
-	err = s.runOn(tr, sess.flow, func() {
+	err = s.runOn(tr, sess.owner, sess.flow, 1, func() {
 		if sess.closed {
 			closed = true
 			return
@@ -479,10 +576,11 @@ func (s *Service) CloseSession(ctx context.Context, sessionID string) ([]refmatc
 	if closed {
 		return nil, SessionSummary{}, fmt.Errorf("%w: session %s", ErrNotFound, sessionID)
 	}
-	s.account(sess.prog, sess, 0, len(final), prefilter.Stats{})
+	s.account(sess.prog, sess, sess.owner, 0, len(final), prefilter.Stats{})
 	s.mu.Lock()
 	delete(s.sessions, sessionID)
 	s.mu.Unlock()
+	sess.owner.ReleaseSession()
 	s.closedCount.Inc()
 	summary := sess.summary()
 	// The stream is finished and unreachable now; recycle its scratch.
@@ -529,10 +627,10 @@ func (s *Service) DrainSessions() []DrainedSession {
 	return out
 }
 
-// account folds one scan/chunk result into program, session and service
-// counters. pf is this request's prefilter delta (zero when the program
-// has no prefiltered patterns).
-func (s *Service) account(prog *Program, sess *session, nbytes, nmatches int, pf prefilter.Stats) {
+// account folds one scan/chunk result into program, session, tenant and
+// service counters. pf is this request's prefilter delta (zero when the
+// program has no prefiltered patterns).
+func (s *Service) account(prog *Program, sess *session, ten *qos.Tenant, nbytes, nmatches int, pf prefilter.Stats) {
 	prog.scans.Inc()
 	prog.bytes.Add(int64(nbytes))
 	prog.matches.Add(int64(nmatches))
@@ -546,6 +644,9 @@ func (s *Service) account(prog *Program, sess *session, nbytes, nmatches int, pf
 	if sess != nil {
 		sess.bytes.Add(int64(nbytes))
 		sess.matches.Add(int64(nmatches))
+	}
+	if ten != nil {
+		ten.AccountScan(nbytes, nmatches)
 	}
 }
 
@@ -565,7 +666,17 @@ type Stats struct {
 	Prefilter     PrefilterStats                       `json:"prefilter"`
 	Reconfig      ReconfigStats                        `json:"reconfig"`
 	SFA           SFAStats                             `json:"sfa"`
+	QoS           QoSStats                             `json:"qos"`
 	Programs      []ProgramStats                       `json:"programs"`
+}
+
+// QoSStats is the /v1/stats qos block: the identity header in force,
+// the count of speculative pre-compiles, and one snapshot per tenant
+// the service has seen.
+type QoSStats struct {
+	Header      string               `json:"header"`
+	Precompiles int64                `json:"precompiles"`
+	Tenants     []qos.TenantSnapshot `json:"tenants"`
 }
 
 // SFAStats aggregates the data-parallel scan path: how many one-shot
@@ -650,7 +761,12 @@ func (s *Service) Stats() Stats {
 			StallWindow:    s.updateStallHist.Snapshot(),
 			DeltaSize:      s.updateDeltaHist.Snapshot(),
 		},
-		SFA:      s.sfaStats(),
+		SFA: s.sfaStats(),
+		QoS: QoSStats{
+			Header:      s.qosReg.Header(),
+			Precompiles: s.precompiles.Value(),
+			Tenants:     s.qosReg.Snapshot(),
+		},
 		Programs: s.cache.snapshot(),
 	}
 }

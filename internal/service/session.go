@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/prefilter"
+	"repro/internal/qos"
 	"repro/internal/refmatch"
 )
 
@@ -15,6 +16,7 @@ import (
 type session struct {
 	id      string
 	prog    *Program
+	owner   *qos.Tenant // the tenant that opened the stream; never nil
 	flow    uint64
 	created time.Time
 

@@ -73,8 +73,8 @@ func (s *Service) registerMetrics() {
 	r.RegisterCounter("rap_pool_tasks_rejected_total", "Tasks rejected with queue-full backpressure.", &s.pool.rejected)
 	r.RegisterCounter("rap_pool_context_switches_total", "Worker flow changes between consecutive tasks.", &s.pool.switches)
 	r.GaugeFunc("rap_pool_workers", "Worker shard count.", func() float64 { return float64(len(s.pool.shards)) })
-	r.GaugeFunc("rap_queue_capacity", "Queue capacity per worker shard.", func() float64 {
-		return float64(s.pool.shards[0].q.Cap())
+	r.GaugeFunc("rap_queue_capacity", "Queue capacity per tenant queue per worker shard.", func() float64 {
+		return float64(s.pool.queueDepth)
 	})
 
 	// Dedicated compile pool: ruleset compiles queue here instead of on
@@ -107,6 +107,32 @@ func (s *Service) registerMetrics() {
 		return time.Since(s.start).Seconds()
 	})
 	telemetry.RegisterBuildInfo(r)
+
+	// Multi-tenant QoS: speculative pre-compiles plus per-tenant series.
+	s.precompiles = r.Counter("rap_precompiles_total", "Speculative ModePolicy-variant pre-compiles completed.")
+	r.Collect(func(c *telemetry.Collector) {
+		for _, ts := range s.qosReg.Snapshot() {
+			lbl := telemetry.L("tenant", ts.Name)
+			c.Counter("rap_tenant_scans_total", "Scans and chunks per tenant.", float64(ts.Scans), lbl)
+			c.Counter("rap_tenant_scan_bytes_total", "Bytes scanned per tenant.", float64(ts.ScanBytes), lbl)
+			c.Counter("rap_tenant_scan_matches_total", "Matches reported per tenant.", float64(ts.ScanMatches), lbl)
+			c.Counter("rap_tenant_compiles_total", "Ruleset compiles run per tenant.", float64(ts.Compiles), lbl)
+			c.Counter("rap_tenant_precompiles_total", "Speculative variant pre-compiles per tenant.", float64(ts.Precompiles), lbl)
+			for res, n := range ts.Throttled {
+				c.Counter("rap_tenant_throttled_total", "Admissions rejected per tenant, by resource.",
+					float64(n), lbl, telemetry.L("resource", res))
+			}
+			c.Gauge("rap_tenant_weight", "Fair-queueing weight per tenant.", float64(ts.Limits.Weight), lbl)
+			c.Gauge("rap_tenant_sessions_open", "Streaming sessions currently open per tenant.", float64(ts.SessionsOpen), lbl)
+			c.Gauge("rap_tenant_compile_slots_in_use", "Compile slots currently held per tenant.", float64(ts.CompilesInFlight), lbl)
+			c.Gauge("rap_tenant_cache_bytes", "Modeled program-cache bytes charged per tenant.", float64(ts.CacheBytes), lbl)
+			c.Gauge("rap_tenant_bucket_level_bytes", "Scan-bandwidth token-bucket level per tenant (negative = debt).", float64(ts.BucketLevelBytes), lbl)
+		}
+		for _, t := range s.qosReg.Tenants() {
+			c.Histogram("rap_tenant_queue_wait_us", "Worker-queue wait per tenant, in microseconds.",
+				t.QueueWait(), telemetry.L("tenant", t.Name()))
+		}
+	})
 
 	// Per-program series, one label dimension over the live cache.
 	r.Collect(func(c *telemetry.Collector) {

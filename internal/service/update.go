@@ -40,10 +40,15 @@ type UpdateResult struct {
 // reconfiguration delta is computed over. Cancelling ctx abandons the
 // compile between patterns.
 func buildImage(ctx context.Context, patterns []string, opts CompileOptions) (*bitstream.Image, error) {
+	var policy compile.ModePolicy
+	if opts.ModePolicy == ModePolicyForceNFA {
+		policy = compile.ForceNFA
+	}
 	res, err := compile.CompileContext(ctx, patterns, compile.Options{
 		UnfoldThreshold:    opts.UnfoldThreshold,
 		LinearBudgetFactor: opts.LinearBudgetFactor,
 		MaxNFAStates:       opts.MaxNFAStates,
+		ModePolicy:         policy,
 	})
 	if err != nil {
 		return nil, err
@@ -76,6 +81,9 @@ func (s *Service) Update(ctx context.Context, programID string, patterns []strin
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("service: empty pattern list")
 	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	tr := telemetry.TraceFromContext(ctx)
 	// Fail fast on unknown IDs before paying for a compile.
 	if _, ok := s.lookup(tr, programID); !ok {
@@ -84,6 +92,13 @@ func (s *Service) Update(ctx context.Context, programID string, patterns []strin
 	t0 := time.Now()
 
 	// Phase 1 — heavy work, off the update lock and off the scan shards.
+	// The compile holds one of the tenant's compile slots like a fresh
+	// POST /programs build would.
+	ten := s.tenant(ctx)
+	if err := ten.AcquireCompile(); err != nil {
+		return nil, err
+	}
+	defer ten.ReleaseCompile()
 	var (
 		m      *refmatch.Matcher
 		newImg *bitstream.Image
@@ -144,9 +159,17 @@ func (s *Service) Update(ctx context.Context, programID string, patterns []strin
 		CreatedAt:  time.Now(),
 		Opts:       opts,
 		Generation: old.Generation + 1,
+		Owner:      ten.Name(),
+		MemBytes:   memEstimate(patterns),
 		hwImg:      newImg,
 	}
-	s.cache.replace(programID, next)
+	// The cache slot changes hands: charge the updating tenant for the
+	// replacement and release the displaced program's owner (skipped if
+	// an eviction raced the swap — onEvict already settled it).
+	ten.ChargeCacheBytes(next.MemBytes)
+	if displaced := s.cache.replace(programID, next); displaced != nil {
+		s.qosReg.Tenant(displaced.Owner).ChargeCacheBytes(-displaced.MemBytes)
+	}
 
 	s.updates.Inc()
 	s.updateDeltaBytes.Add(int64(len(deltaData)))

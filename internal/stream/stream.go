@@ -47,6 +47,15 @@ func (f *FIFO[T]) Push(v T) bool {
 	return true
 }
 
+// Peek returns the oldest item without dequeuing it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if f.Empty() {
+		return zero, false
+	}
+	return f.buf[f.head], true
+}
+
 // Pop dequeues the oldest item.
 func (f *FIFO[T]) Pop() (T, bool) {
 	var zero T

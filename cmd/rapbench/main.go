@@ -8,10 +8,11 @@
 //	rapbench -exp service -json ./bench  # machine-readable BENCH_service.json
 //	rapbench -exp sfa                    # data-parallel scan vs serial speedup
 //	rapbench -exp qos                    # noisy-neighbor isolation (per-tenant QoS)
+//	rapbench -exp slo                    # SLO burn-rate control loop (shed vs baseline)
 //
 // Experiments: fig1, fig10a, fig10b, table2, table3, fig11, fig12, fig13,
 // table4, ablation, characterize, flows, reconfig, service, scan, compile,
-// sfa, qos, all. The reconfig experiment is beyond-paper: it prices live ruleset
+// sfa, qos, slo, all. The reconfig experiment is beyond-paper: it prices live ruleset
 // updates (delta bitstream + tile quiesce/reload) against full
 // redeployment; the service experiment benchmarks the serving stack
 // (cache + worker pool) against direct matcher calls; the scan experiment
@@ -22,7 +23,12 @@
 // §5.1 ruleset, with a byte-identical-output determinism check; the qos
 // experiment measures multi-tenant isolation — a within-limits victim
 // tenant's p99 with and without a rate-limited noisy tenant flooding the
-// same workers, asserting the victim takes zero 429s either way.
+// same workers, asserting the victim takes zero 429s either way; the slo
+// experiment closes the observability loop — a two-tenant load at ~2x
+// capacity runs with and without SLO-driven admission, showing the
+// burn-rate controller shedding the heavy tenant until the latency
+// objective's fast burn drops back under its limit while the unshed
+// baseline stays breached.
 //
 // -json DIR additionally writes one BENCH_<exp>.json per experiment —
 // result table plus config, wall time and build identity — so CI can

@@ -34,6 +34,15 @@
 // speculative pre-compilation opt-in — see internal/qos.Config). SIGHUP
 // reloads the file in place: live tenants are re-limited without a
 // restart, keeping their accounting state.
+//
+// SLO engine: -slo-config points at a JSON file of burn-rate objectives
+// (see internal/slo.Config); SIGHUP reloads it alongside the QoS file,
+// preserving the rolling good/bad counts of unchanged objectives. Health
+// scoring is served at /v1/health (component scores) and /readyz (503
+// when critical); /debug/slo exposes burn rates, the admission shed
+// level, and the breach log with linked trace IDs. -health-addr starts a
+// second listener carrying only /healthz, /readyz, /v1/health and
+// /metrics, so monitoring can live off the request port.
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 	"repro/internal/patfile"
 	"repro/internal/qos"
 	"repro/internal/service"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -69,6 +79,8 @@ func main() {
 	parWorkers := flag.Int("parallel-scan-workers", 0, "worker fan-out per parallel scan (0 = GOMAXPROCS)")
 	tenantHeader := flag.String("tenant-header", "", "tenant identity header (default "+qos.DefaultHeader+")")
 	qosConfig := flag.String("qos-config", "", "JSON per-tenant limits file (SIGHUP reloads it in place)")
+	sloConfig := flag.String("slo-config", "", "JSON SLO objectives file (SIGHUP reloads it in place)")
+	healthAddr := flag.String("health-addr", "", "optional second listener serving only /healthz, /readyz, /v1/health and /metrics")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -94,6 +106,15 @@ func main() {
 		qosCfg = loaded
 	}
 
+	sloCfg := slo.Config{}
+	if *sloConfig != "" {
+		loaded, err := slo.LoadFile(*sloConfig)
+		if err != nil {
+			fatal(err)
+		}
+		sloCfg = loaded
+	}
+
 	svc := service.New(service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -106,26 +127,43 @@ func main() {
 		ParallelScanMinBytes: *parMin,
 		ParallelScanWorkers:  *parWorkers,
 		QoS:                  qosCfg,
+		SLO:                  sloCfg,
 	})
 	defer svc.Close()
 
-	// SIGHUP re-reads the tenant-limits file and re-limits live tenants
-	// in place (no restart, accounting state survives).
-	if *qosConfig != "" {
+	// SIGHUP re-reads the tenant-limits and SLO-objectives files and
+	// applies both in place (no restart, accounting and burn-rate state
+	// survive). Each applied file gets a one-line change summary.
+	if *qosConfig != "" || *sloConfig != "" {
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
 			for range hup {
-				loaded, err := qos.LoadFile(*qosConfig)
-				if err != nil {
-					logger.Error("qos reload failed", "file", *qosConfig, "err", err)
-					continue
+				if *qosConfig != "" {
+					loaded, err := qos.LoadFile(*qosConfig)
+					if err != nil {
+						logger.Error("qos reload failed", "file", *qosConfig, "err", err)
+					} else {
+						if *tenantHeader != "" {
+							loaded.Header = *tenantHeader
+						}
+						svc.QoS().SetConfig(loaded)
+						logger.Info("qos reloaded", "file", *qosConfig, "tenants", len(loaded.Tenants))
+					}
 				}
-				if *tenantHeader != "" {
-					loaded.Header = *tenantHeader
+				if *sloConfig != "" {
+					loaded, err := slo.LoadFile(*sloConfig)
+					if err != nil {
+						logger.Error("slo reload failed", "file", *sloConfig, "err", err)
+					} else {
+						svc.SLO().SetConfig(loaded)
+						applied := svc.SLO().Config()
+						logger.Info("slo reloaded", "file", *sloConfig,
+							"objectives", len(applied.Objectives),
+							"admission", applied.Admission.Enabled,
+							"admission_objective", applied.Admission.Objective)
+					}
 				}
-				svc.QoS().SetConfig(loaded)
-				logger.Info("qos reloaded", "file", *qosConfig, "tenants", len(loaded.Tenants))
 			}
 		}()
 	}
@@ -162,6 +200,23 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
+
+	// Optional monitoring listener: health probes and the metrics scrape
+	// on a port that can stay off the request path (and off its ACLs).
+	if *healthAddr != "" {
+		hm := http.NewServeMux()
+		hm.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		hm.Handle("GET /readyz", slo.ReadyHandler(svc.Health()))
+		hm.Handle("GET /v1/health", slo.HealthHandler(svc.Health()))
+		hm.Handle("GET /metrics", svc.Telemetry().Handler())
+		hsrv := &http.Server{Addr: *healthAddr, Handler: hm, ReadHeaderTimeout: 10 * time.Second}
+		go func() { errCh <- hsrv.ListenAndServe() }()
+		logger.Info("health listener", "addr", *healthAddr)
+	}
+
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "pprof", *pprofOn,
 		"go_version", telemetry.Build().GoVersion, "revision", telemetry.Build().Revision)

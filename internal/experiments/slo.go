@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/refmatch"
+	"repro/internal/service"
+	"repro/internal/slo"
+)
+
+// sloPhaseDur is one load phase; long enough for the 2s fast window to
+// fill and several 250ms admission ticks to fire, short enough for CI.
+const sloPhaseDur = 5 * time.Second
+
+// sloPhase is what one load phase measured.
+type sloPhase struct {
+	ok, rejected  int64
+	maxLatBurn    float64 // max fast burn of request_latency seen
+	endLatBurn    float64 // request_latency fast burn at phase end (steady state)
+	maxQWBurn     float64 // max fast burn of tenant_queue_wait seen
+	minHealth     float64
+	breaches      int
+	shedLevelEnd  float64
+	recoveredOK   bool // controller fully relaxed after cooldown
+	recoveredHP   float64
+	traceLinked   bool // a breach trace ID appears in /debug/traces
+	latFastLimit  float64
+	offeredPerSec float64
+}
+
+// SLOBench drives the closed control loop end to end: a two-tenant load
+// at ~2x the single worker's measured capacity runs once against a
+// service with SLO-driven admission disabled (baseline) and once with it
+// enabled. The baseline must breach the request-latency objective's fast
+// window; with admission on, queue-wait burn tightens the heavy tenant's
+// token bucket, the queue stays short, and the latency objective's fast
+// burn stays below its limit. Health degrades under load and recovers in
+// the cooldown, and every breach event snapshots the slow-trace ring so
+// /debug/slo links to /debug/traces. `rapbench -exp slo -json DIR`
+// archives the result as BENCH_slo.json.
+func SLOBench(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	d, input, err := cfg.dataset("Snort")
+	if err != nil {
+		return nil, err
+	}
+
+	// Calibrate a payload whose scan costs >= ~5ms so the offered rates
+	// stay at a few hundred HTTP requests per second at most.
+	m, err := refmatch.Compile(context.Background(), d.Patterns, refmatch.Options{})
+	if err != nil {
+		return nil, err
+	}
+	payload := append([]byte(nil), input...)
+	var scanCost time.Duration
+	for {
+		t0 := time.Now()
+		m.Scan(payload)
+		scanCost = time.Since(t0)
+		if scanCost >= 5*time.Millisecond || len(payload) >= 8<<20 {
+			break
+		}
+		payload = append(payload, input...)
+	}
+	scanCostUS := scanCost.Microseconds()
+	if scanCostUS < 1 {
+		scanCostUS = 1
+	}
+	// Single worker => capacity is 1/scanCost requests per second; the
+	// two tenants together offer ~2x that (heavy 1.6x, light 0.4x).
+	capacity := float64(time.Second) / float64(scanCost)
+	heavyRate, lightRate := 1.6*capacity, 0.4*capacity
+
+	sloCfg := func(admission bool) slo.Config {
+		return slo.Config{
+			Objectives: map[string]slo.Objective{
+				// The default per-stage objectives use 5-minute fast
+				// windows — far longer than a 5s phase — so they'd pin
+				// the health score long after the load stops. This
+				// experiment exercises the two request-path objectives.
+				slo.ObjectiveStageScan:      {Disabled: true},
+				slo.ObjectiveStageCompile:   {Disabled: true},
+				slo.ObjectiveStageQueueWait: {Disabled: true},
+				slo.ObjectiveStageApply:     {Disabled: true},
+				slo.ObjectiveRequestLatency: {
+					Kind: slo.KindLatency, Target: 0.9, ThresholdUS: 3 * scanCostUS,
+					Fast: slo.WindowSpec{Duration: slo.Duration(2 * time.Second), Burn: 2},
+					Slow: slo.WindowSpec{Duration: slo.Duration(20 * time.Second), Burn: 1},
+				},
+				slo.ObjectiveTenantQueueWait: {
+					Kind: slo.KindLatency, Target: 0.9, ThresholdUS: scanCostUS, PerTenant: true,
+					Fast: slo.WindowSpec{Duration: slo.Duration(2 * time.Second), Burn: 2},
+					Slow: slo.WindowSpec{Duration: slo.Duration(20 * time.Second), Burn: 1},
+				},
+			},
+			Admission: slo.AdmissionConfig{
+				Enabled:   admission,
+				Objective: slo.ObjectiveTenantQueueWait,
+				Tick:      slo.Duration(250 * time.Millisecond),
+			},
+		}
+	}
+
+	runPhase := func(admission bool) (sloPhase, error) {
+		var ph sloPhase
+		ph.minHealth = 1
+		ph.offeredPerSec = heavyRate + lightRate
+
+		// The trace ring must outlive the whole phase (~offered * 5s
+		// requests) so breach events checked after cooldown still find
+		// their snapshotted trace IDs in /debug/traces.
+		svc := service.New(service.Config{
+			Workers:    1,
+			QueueDepth: 64,
+			TraceRing:  4096,
+			SLO:        sloCfg(admission),
+		})
+		defer svc.Close()
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		client := srv.Client()
+		client.Timeout = 30 * time.Second
+
+		prog, _, err := svc.Compile(context.Background(), d.Patterns, service.CompileOptions{})
+		if err != nil {
+			return ph, err
+		}
+		scanURL := srv.URL + "/v1/programs/" + prog.ID + "/scan"
+
+		if st, ok := svc.SLO().Status(slo.ObjectiveRequestLatency); ok {
+			ph.latFastLimit = st.FastLimit
+		}
+
+		// Paced open-loop clients: each fires on its own ticker so the
+		// aggregate offered rate holds even while responses are slow.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		launch := func(tenant string, rate float64, clients int) {
+			interval := time.Duration(float64(clients) / rate * float64(time.Second))
+			if interval <= 0 {
+				interval = time.Millisecond
+			}
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					tick := time.NewTicker(interval)
+					defer tick.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case <-tick.C:
+						}
+						req, _ := http.NewRequest("POST", scanURL, bytes.NewReader(payload))
+						req.Header.Set("X-RAP-Tenant", tenant)
+						resp, err := client.Do(req)
+						if err != nil {
+							continue // server closing at phase end
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode == http.StatusOK {
+							atomic.AddInt64(&ph.ok, 1)
+						} else {
+							atomic.AddInt64(&ph.rejected, 1)
+						}
+					}
+				}()
+			}
+		}
+		launch("heavy", heavyRate, 6)
+		launch("light", lightRate, 2)
+
+		// Sampler: track the worst fast burns and the health floor.
+		sampleDone := make(chan struct{})
+		go func() {
+			defer close(sampleDone)
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				if st, ok := svc.SLO().Status(slo.ObjectiveRequestLatency); ok && st.FastBurn > ph.maxLatBurn {
+					ph.maxLatBurn = st.FastBurn
+				}
+				if st, ok := svc.SLO().Status(slo.ObjectiveTenantQueueWait); ok && st.FastBurn > ph.maxQWBurn {
+					ph.maxQWBurn = st.FastBurn
+				}
+				if h := svc.Health().Score(); h < ph.minHealth {
+					ph.minHealth = h
+				}
+			}
+		}()
+
+		time.Sleep(sloPhaseDur)
+		if st, ok := svc.SLO().Status(slo.ObjectiveRequestLatency); ok {
+			ph.endLatBurn = st.FastBurn
+		}
+		close(stop)
+		wg.Wait()
+		<-sampleDone
+
+		ph.breaches = len(svc.SLO().Breaches())
+		ph.shedLevelEnd = svc.SLOController().Level()
+
+		// Cooldown: with the load gone the rolling windows drain and the
+		// controller must relax back to zero shedding; health recovers.
+		deadline := time.Now().Add(8 * time.Second)
+		for time.Now().Before(deadline) {
+			if svc.SLOController().Level() == 0 && svc.Health().Score() >= 0.8 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		ph.recoveredOK = svc.SLOController().Level() == 0
+		ph.recoveredHP = svc.Health().Score()
+
+		// Breach-to-trace linkage: some breach event must reference a
+		// trace ID still visible in the /debug/traces ring.
+		resp, err := client.Get(srv.URL + "/debug/traces")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, b := range svc.SLO().Breaches() {
+				for _, tr := range b.Traces {
+					if tr.TraceID != "" && strings.Contains(string(body), tr.TraceID) {
+						ph.traceLinked = true
+					}
+				}
+			}
+		}
+		return ph, nil
+	}
+
+	baseline, err := runPhase(false)
+	if err != nil {
+		return nil, err
+	}
+	shed, err := runPhase(true)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &metrics.Table{
+		Name: fmt.Sprintf(
+			"SLO-driven admission at ~2x capacity (scan %.1fms, offered %.0f req/s)",
+			float64(scanCost)/1e6, baseline.offeredPerSec),
+		Header: []string{"Phase", "OK", "429s", "Lat burn end", "Lat burn max", "Fast limit",
+			"QW burn max", "Min health", "Breaches", "Trace linked", "Recovered", "Shed end"},
+	}
+	row := func(name string, ph sloPhase) {
+		t.AddRow(name, ph.ok, ph.rejected, ph.endLatBurn, ph.maxLatBurn, ph.latFastLimit,
+			ph.maxQWBurn, ph.minHealth, ph.breaches, ph.traceLinked,
+			fmt.Sprintf("health %.2f relaxed %v", ph.recoveredHP, ph.recoveredOK),
+			ph.shedLevelEnd)
+	}
+	row("baseline (no admission)", baseline)
+	row("slo admission", shed)
+	if err := cfg.saveTable(t, "slo_bench.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

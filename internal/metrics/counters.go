@@ -54,6 +54,9 @@ type Histogram struct {
 	sumUS   atomic.Int64
 	maxUS   atomic.Int64
 	buckets [histBuckets]atomic.Int64
+	// exemplars holds one recent trace-linked observation per bucket
+	// (nil until a traced observation lands there); see ObserveExemplar.
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
 }
 
 // Observe records one duration.
@@ -74,6 +77,64 @@ func (h *Histogram) ObserveValue(v int64) {
 		}
 	}
 	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Exemplar links one observed value to the trace that produced it, so a
+// histogram bucket on a dashboard can jump straight to a representative
+// request. UnixNano 0 means "no timestamp" (exporters omit it).
+type Exemplar struct {
+	TraceID  string
+	Value    int64
+	UnixNano int64
+}
+
+// exemplarMinAge rate-limits exemplar replacement: a bucket keeps its
+// current exemplar until it is at least this old, so the scrape-visible
+// exemplar is stable under high observation rates while still rotating
+// through recent traces.
+const exemplarMinAge = int64(250 * time.Millisecond)
+
+// ObserveExemplar records one duration and, when traceID is non-empty,
+// offers it as the exemplar of the bucket the observation lands in.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	h.ObserveValueExemplar(d.Microseconds(), traceID)
+}
+
+// ObserveValueExemplar is ObserveExemplar over a raw value.
+func (h *Histogram) ObserveValueExemplar(v int64, traceID string) {
+	h.observeExemplarAt(v, traceID, time.Now().UnixNano())
+}
+
+// ObserveValueExemplarAt records a value with an explicit exemplar
+// timestamp — the deterministic entry point golden tests use.
+func (h *Histogram) ObserveValueExemplarAt(v int64, traceID string, at time.Time) {
+	h.observeExemplarAt(v, traceID, at.UnixNano())
+}
+
+func (h *Histogram) observeExemplarAt(v int64, traceID string, nowNS int64) {
+	h.ObserveValue(v)
+	if traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	slot := &h.exemplars[bucketOf(v)]
+	if old := slot.Load(); old == nil || nowNS-old.UnixNano >= exemplarMinAge {
+		slot.Store(&Exemplar{TraceID: traceID, Value: v, UnixNano: nowNS})
+	}
+}
+
+// ExemplarAt returns the exemplar of bucket i, if one has been captured.
+func (h *Histogram) ExemplarAt(i int) (Exemplar, bool) {
+	if i < 0 || i >= histBuckets {
+		return Exemplar{}, false
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return Exemplar{}, false
+	}
+	return *e, true
 }
 
 func bucketOf(us int64) int {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/qos"
 	"repro/internal/refmatch"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -74,9 +75,12 @@ func putBody(buf []byte) {
 //	POST   /v1/sessions/{id}/data  raw bytes → matches in this chunk
 //	DELETE /v1/sessions/{id}       → end-anchored matches + totals
 //	GET    /v1/stats               → counters snapshot (JSON)
-//	GET    /metrics                → Prometheus text exposition (unversioned)
+//	GET    /v1/health              → scored component health (JSON)
+//	GET    /metrics                → Prometheus/OpenMetrics exposition (unversioned)
 //	GET    /debug/traces           → recent slow request traces (unversioned)
-//	GET    /healthz                → ok (unversioned)
+//	GET    /debug/slo              → SLO burns, admission posture, breach log (unversioned)
+//	GET    /healthz                → ok (liveness, unversioned)
+//	GET    /readyz                 → 503 while any health component is critical
 //
 // The original unprefixed routes (POST /programs, ...) remain as aliases
 // for existing clients: they serve identical responses but mark each one
@@ -97,17 +101,31 @@ func (s *Service) Handler() http.Handler {
 	api.HandleFunc("POST /sessions/{id}/data", s.handleFeed)
 	api.HandleFunc("DELETE /sessions/{id}", s.handleCloseSession)
 	api.HandleFunc("GET /stats", s.handleStats)
-	apiH := s.tenantMiddleware(telemetry.Middleware(s.tracer, s.cfg.Logger, api))
+	apiH := s.tenantMiddleware(telemetry.MiddlewareObserved(s.tracer, s.cfg.Logger, s.observeRequest, api))
 
 	root := http.NewServeMux()
 	root.Handle("/v1/", http.StripPrefix("/v1", apiH))
 	root.Handle("/", deprecatedAlias(apiH))
+	// Health, scrape and debug endpoints stay outside the middleware;
+	// "GET /v1/health" is more specific than "/v1/", so it wins the route.
+	root.Handle("GET /v1/health", slo.HealthHandler(s.health))
+	root.Handle("GET /readyz", slo.ReadyHandler(s.health))
 	root.Handle("GET /metrics", s.tel.Handler())
 	root.Handle("GET /debug/traces", s.tracer.Handler())
+	root.Handle("GET /debug/slo", slo.DebugHandler(s.sloEng, s.sloCtl))
 	root.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return root
+}
+
+// observeRequest feeds every finished API request into the SLO engine:
+// total duration against the request-latency objective, and the status
+// class against the error-rate objective. Shed rejections (429) are not
+// SLO errors — only 5xx burns the error budget.
+func (s *Service) observeRequest(status int, d time.Duration, tr *telemetry.Trace) {
+	s.sloEng.ObserveLatency(slo.ObjectiveRequestLatency, d)
+	s.sloEng.Observe(slo.ObjectiveErrorRate, status < 500)
 }
 
 // tenantMiddleware attaches the request's tenant identity — the value of

@@ -15,6 +15,7 @@ import (
 	"repro/internal/prefilter"
 	"repro/internal/qos"
 	"repro/internal/refmatch"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	// still runs, admission never rejects. Live reconfiguration goes
 	// through Service.QoS().SetConfig.
 	QoS qos.Config
+	// SLO configures the burn-rate engine and SLO-driven admission: the
+	// objectives (merged over slo.DefaultConfig) and the admission knobs.
+	// The zero value runs the default objectives with admission disabled.
+	// Live reconfiguration goes through Service.SLO().SetConfig.
+	SLO slo.Config
 }
 
 func (c *Config) setDefaults() {
@@ -109,6 +115,9 @@ type Service struct {
 	start     time.Time
 	tel       *telemetry.Registry
 	tracer    *telemetry.Tracer
+	sloEng    *slo.Engine
+	sloCtl    *slo.Controller
+	health    *slo.Scorer
 
 	// specWG tracks in-flight speculative pre-compiles (qos Precompile
 	// tenants); Close waits for them before stopping the pools.
@@ -187,13 +196,81 @@ func New(cfg Config) *Service {
 	s.cache.onEvict = func(p *Program) {
 		s.qosReg.Tenant(p.Owner).ChargeCacheBytes(-p.MemBytes)
 	}
+	// SLO loop: burn-rate engine fed by the middleware and stage
+	// observations, a controller driving shed levels into the QoS
+	// registry, and a health scorer over every subsystem probe.
+	s.sloEng = slo.NewEngine(cfg.SLO)
+	s.sloEng.SetTraceSource(s.tracer.Traces)
+	s.sloCtl = slo.NewController(s.sloEng, s.qosReg)
+	s.health = slo.NewScorer()
+	s.health.Add(s.sloEng.HealthProbe())
+	s.health.Add(s.poolHealthProbe())
+	s.health.Add(s.cacheHealthProbe())
+	s.health.Add(s.reconfigHealthProbe())
 	s.registerMetrics()
+	s.sloCtl.Start()
 	return s
+}
+
+// poolHealthProbe scores worker-pool saturation: the live queue depth
+// against total queue capacity. An idle pool scores 1; a pool with
+// every queue slot full scores 0.
+func (s *Service) poolHealthProbe() slo.Probe {
+	return func() slo.Component {
+		capacity := float64(len(s.pool.shards) * s.pool.queueDepth)
+		queued := float64(s.pool.queued.Value())
+		sat := 0.0
+		if capacity > 0 {
+			sat = queued / capacity
+		}
+		return slo.ScoreComponent("worker_pool", 1-sat, map[string]float64{
+			"queued":   queued,
+			"capacity": capacity,
+			"rejected": float64(s.pool.rejected.Value()),
+		})
+	}
+}
+
+// cacheHealthProbe scores program-cache pressure. Occupancy alone is
+// healthy (a full LRU is the steady state), so only half the score
+// rides on it; eviction churn is reported as detail for dashboards.
+func (s *Service) cacheHealthProbe() slo.Probe {
+	return func() slo.Component {
+		st := s.cache.stats()
+		occ := 0.0
+		if st.Capacity > 0 {
+			occ = float64(st.Size) / float64(st.Capacity)
+		}
+		return slo.ScoreComponent("program_cache", 1-0.5*occ, map[string]float64{
+			"size":      float64(st.Size),
+			"capacity":  float64(st.Capacity),
+			"evictions": float64(st.Evictions),
+		})
+	}
+}
+
+// reconfigHealthProbe scores hot-swap stall pressure: the fraction of
+// modeled reload cycles spent stalling the match pipeline.
+func (s *Service) reconfigHealthProbe() slo.Probe {
+	return func() slo.Component {
+		reload := float64(s.updateReloadCycles.Value())
+		stall := float64(s.updateStallCycles.Value())
+		ratio := 0.0
+		if reload > 0 {
+			ratio = stall / reload
+		}
+		return slo.ScoreComponent("reconfig", 1-0.5*ratio, map[string]float64{
+			"updates":       float64(s.updates.Value()),
+			"stall_cycles":  stall,
+			"reload_cycles": reload,
+		})
+	}
 }
 
 // Close stops the worker pools. Outstanding queued tasks are drained;
 // in-flight speculative pre-compiles are waited for first.
 func (s *Service) Close() {
+	s.sloCtl.Stop()
 	s.specWG.Wait()
 	s.pool.close()
 	s.compilers.close()
@@ -203,6 +280,16 @@ func (s *Service) Close() {
 // (rapserve wires SIGHUP to SetConfig) and direct inspection.
 func (s *Service) QoS() *qos.Registry { return s.qosReg }
 
+// SLO returns the burn-rate engine, for configuration reloads (rapserve
+// wires SIGHUP to SetConfig) and direct inspection.
+func (s *Service) SLO() *slo.Engine { return s.sloEng }
+
+// SLOController returns the SLO-driven admission controller.
+func (s *Service) SLOController() *slo.Controller { return s.sloCtl }
+
+// Health returns the health scorer behind /v1/health and /readyz.
+func (s *Service) Health() *slo.Scorer { return s.health }
+
 // tenant resolves the request's tenant from ctx (the HTTP layer attaches
 // the identity-header value; absent means the anonymous tenant).
 func (s *Service) tenant(ctx context.Context) *qos.Tenant {
@@ -210,11 +297,14 @@ func (s *Service) tenant(ctx context.Context) *qos.Tenant {
 }
 
 // observeStage folds one completed request stage into its latency
-// histogram and, when the request carries a trace, into its span list.
-func observeStage(h *metrics.Histogram, tr *telemetry.Trace, name string, start time.Time) {
+// histogram (with the trace ID as exemplar), into the request's span
+// list, and into the matching "stage:<name>" SLO objective when one is
+// configured.
+func (s *Service) observeStage(h *metrics.Histogram, tr *telemetry.Trace, name string, start time.Time) {
 	d := time.Since(start)
-	h.Observe(d)
+	h.ObserveExemplar(d, tr.ID())
 	tr.AddSpan(name, start, d)
+	s.sloEng.ObserveLatency("stage:"+name, d)
 }
 
 // runCompile executes fn on the dedicated compile pool and waits for it,
@@ -227,7 +317,7 @@ func (s *Service) runCompile(tr *telemetry.Trace, fn func()) error {
 	done := make(chan struct{})
 	if err := s.compilers.submit(s.nextCompile.Add(1), func() {
 		defer close(done)
-		observeStage(s.stageCompileWait, tr, "compile_queue_wait", enqueued)
+		s.observeStage(s.stageCompileWait, tr, "compile_queue_wait", enqueued)
 		if s.compileHook != nil {
 			s.compileHook()
 		}
@@ -281,7 +371,7 @@ func (s *Service) compileProgram(ctx context.Context, tr *telemetry.Trace, ten *
 			compileStart := time.Now()
 			m, cerr = refmatch.Compile(ctx, patterns, opts.refmatch())
 			if cerr == nil {
-				observeStage(s.stageCompile, tr, "compile", compileStart)
+				s.observeStage(s.stageCompile, tr, "compile", compileStart)
 			}
 		}); err != nil {
 			return nil, err
@@ -302,7 +392,7 @@ func (s *Service) compileProgram(ctx context.Context, tr *telemetry.Trace, ten *
 		return p, nil
 	})
 	if err == nil && hit {
-		observeStage(s.stageCacheLookup, tr, "cache_lookup", lookup)
+		s.observeStage(s.stageCacheLookup, tr, "cache_lookup", lookup)
 	}
 	return prog, hit, err
 }
@@ -337,7 +427,7 @@ func (s *Service) Program(id string) (*Program, bool) { return s.cache.get(id) }
 func (s *Service) lookup(tr *telemetry.Trace, programID string) (*Program, bool) {
 	start := time.Now()
 	prog, ok := s.cache.get(programID)
-	observeStage(s.stageCacheLookup, tr, "cache_lookup", start)
+	s.observeStage(s.stageCacheLookup, tr, "cache_lookup", start)
 	return prog, ok
 }
 
@@ -351,10 +441,12 @@ func (s *Service) runOn(tr *telemetry.Trace, ten *qos.Tenant, flow uint64, cost 
 	if err := s.pool.submitTask(flow, ten, int64(cost), func() {
 		defer close(done)
 		wait := time.Since(enqueued)
-		s.stageQueueWait.Observe(wait)
+		s.stageQueueWait.ObserveExemplar(wait, tr.ID())
 		tr.AddSpan("queue_wait", enqueued, wait)
+		s.sloEng.ObserveLatency(slo.ObjectiveStageQueueWait, wait)
 		if ten != nil {
 			ten.ObserveQueueWait(wait)
+			s.sloEng.ObserveTenantLatency(slo.ObjectiveTenantQueueWait, ten.Name(), wait)
 		}
 		fn()
 	}); err != nil {
@@ -400,7 +492,7 @@ func (s *Service) Scan(ctx context.Context, programID string, data []byte) ([]re
 		st := prog.getSession()
 		scanStart := time.Now()
 		matches = st.ScanInto(data, nil)
-		observeStage(s.stageScan, tr, "scan", scanStart)
+		s.observeStage(s.stageScan, tr, "scan", scanStart)
 		pf = st.PrefilterStats()
 		s.observePrefilter(tr, scanStart, pf)
 		prog.putSession(st)
@@ -425,7 +517,7 @@ func (s *Service) scanParallel(ctx context.Context, tr *telemetry.Trace, ten *qo
 		start := time.Now()
 		matches, perr = st.ScanParallel(ctx, data, s.cfg.ParallelScanWorkers)
 		if perr == nil {
-			observeStage(s.stageParallel, tr, "parallel_scan", start)
+			s.observeStage(s.stageParallel, tr, "parallel_scan", start)
 			ps := st.ParallelStats()
 			s.sfaScans.Inc()
 			s.sfaChunks.Add(int64(ps.Chunks))
@@ -533,7 +625,7 @@ func (s *Service) Feed(ctx context.Context, sessionID string, chunk []byte) ([]r
 		}
 		scanStart := time.Now()
 		matches = sess.stream.Feed(chunk)
-		observeStage(s.stageScan, tr, "scan", scanStart)
+		s.observeStage(s.stageScan, tr, "scan", scanStart)
 		total := sess.stream.PrefilterStats()
 		pf = total.Sub(sess.pfSnap)
 		sess.pfSnap = total
@@ -667,7 +759,19 @@ type Stats struct {
 	Reconfig      ReconfigStats                        `json:"reconfig"`
 	SFA           SFAStats                             `json:"sfa"`
 	QoS           QoSStats                             `json:"qos"`
+	SLO           SLOStats                             `json:"slo"`
+	Health        slo.HealthSnapshot                   `json:"health"`
 	Programs      []ProgramStats                       `json:"programs"`
+}
+
+// SLOStats is the /v1/stats slo block: every objective's current burn
+// evaluation, the cumulative escalation count, and the admission
+// controller's posture. Breach trace snapshots stay on /debug/slo.
+type SLOStats struct {
+	Objectives       []slo.ObjectiveStatus `json:"objectives"`
+	BreachesTotal    int64                 `json:"breaches_total"`
+	AdmissionEnabled bool                  `json:"admission_enabled"`
+	ShedLevel        float64               `json:"shed_level"`
 }
 
 // QoSStats is the /v1/stats qos block: the identity header in force,
@@ -767,6 +871,13 @@ func (s *Service) Stats() Stats {
 			Precompiles: s.precompiles.Value(),
 			Tenants:     s.qosReg.Snapshot(),
 		},
+		SLO: SLOStats{
+			Objectives:       s.sloEng.Statuses(),
+			BreachesTotal:    s.sloEng.BreachCounter().Value(),
+			AdmissionEnabled: s.sloEng.Config().Admission.Enabled,
+			ShedLevel:        s.sloCtl.Level(),
+		},
+		Health:   s.health.Snapshot(),
 		Programs: s.cache.snapshot(),
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/refmatch"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -127,10 +128,32 @@ func (s *Service) registerMetrics() {
 			c.Gauge("rap_tenant_compile_slots_in_use", "Compile slots currently held per tenant.", float64(ts.CompilesInFlight), lbl)
 			c.Gauge("rap_tenant_cache_bytes", "Modeled program-cache bytes charged per tenant.", float64(ts.CacheBytes), lbl)
 			c.Gauge("rap_tenant_bucket_level_bytes", "Scan-bandwidth token-bucket level per tenant (negative = debt).", float64(ts.BucketLevelBytes), lbl)
+			c.Gauge("rap_tenant_shed_scale", "SLO-driven admission scale per tenant (1 = full rate).", ts.ShedScale, lbl)
+			c.Counter("rap_tenant_shed_rejects_total", "Admissions rejected while SLO shedding was active, per tenant.", float64(ts.ShedRejects), lbl)
 		}
 		for _, t := range s.qosReg.Tenants() {
 			c.Histogram("rap_tenant_queue_wait_us", "Worker-queue wait per tenant, in microseconds.",
 				t.QueueWait(), telemetry.L("tenant", t.Name()))
+		}
+	})
+
+	// SLO loop: breach/decision totals, live shed level, health score,
+	// and per-objective burn rates emitted at scrape time.
+	r.RegisterCounter("rap_slo_breaches_total", "SLO objective state escalations recorded.", s.sloEng.BreachCounter())
+	tightened, relaxed := s.sloCtl.Counters()
+	r.RegisterCounter("rap_slo_admission_tightened_total", "Shed-level increases driven by SLO fast burn.", tightened)
+	r.RegisterCounter("rap_slo_admission_relaxed_total", "Shed-level decays after SLO burn subsided.", relaxed)
+	r.GaugeFunc("rap_slo_shed_level", "Current SLO-driven shed level (0 = no shedding).", s.sloCtl.Level)
+	r.GaugeFunc("rap_health_score", "Overall node health score in [0,1] (minimum component score).", s.health.Score)
+	r.Collect(func(c *telemetry.Collector) {
+		for _, st := range s.sloEng.Statuses() {
+			if st.Tenant != "" {
+				continue // per-tenant burn shows up via shed scale and queue-wait series
+			}
+			lbl := telemetry.L("objective", st.Name)
+			c.Gauge("rap_slo_burn_rate", "SLO burn rate per objective and window.", st.FastBurn, lbl, telemetry.L("window", "fast"))
+			c.Gauge("rap_slo_burn_rate", "SLO burn rate per objective and window.", st.SlowBurn, lbl, telemetry.L("window", "slow"))
+			c.Gauge("rap_slo_objective_state", "SLO objective state (0 = ok, 1 = fast_burn, 2 = breach).", float64(sloStateNum(st.State)), lbl)
 		}
 	})
 
@@ -145,6 +168,18 @@ func (s *Service) registerMetrics() {
 			c.Gauge("rap_program_generation", "Hot-swap generation per program (0 = initial deploy).", float64(ps.Generation), lbl)
 		}
 	})
+}
+
+// sloStateNum maps an objective state to its metric value.
+func sloStateNum(state string) int {
+	switch state {
+	case slo.StateBreach:
+		return 2
+	case slo.StateFastBurn:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // Telemetry returns the service's metric registry, so binaries can

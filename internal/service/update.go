@@ -110,7 +110,7 @@ func (s *Service) Update(ctx context.Context, programID string, patterns []strin
 		if cerr != nil {
 			return
 		}
-		observeStage(s.stageCompile, tr, "compile", compileStart)
+		s.observeStage(s.stageCompile, tr, "compile", compileStart)
 		imageEnd := tr.StartSpan("image_build")
 		newImg, cerr = buildImage(ctx, patterns, opts)
 		imageEnd()
@@ -178,7 +178,7 @@ func (s *Service) Update(ctx context.Context, programID string, patterns []strin
 	s.updateStallCycles.Add(plan.StallCycles)
 	s.updateStallHist.ObserveValue(plan.StallCycles)
 	s.updateDeltaHist.ObserveValue(int64(len(deltaData)))
-	observeStage(s.stageApply, tr, "reconfig_apply", t0)
+	s.observeStage(s.stageApply, tr, "reconfig_apply", t0)
 
 	return &UpdateResult{
 		ProgramID:        programID,

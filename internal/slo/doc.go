@@ -1,0 +1,36 @@
+// Package slo closes the telemetry loop: it turns the raw rap_* series
+// the serving stack emits into machine-judgeable good/bad decisions.
+//
+// The core is a rolling multi-window burn-rate engine in the Google-SRE
+// style: every objective (request latency, error rate, per-stage p99,
+// per-tenant queue wait) counts good and bad events into a ring of
+// aligned time buckets and evaluates two windows over it — a fast window
+// that reacts within seconds and a slow window that filters noise. The
+// burn rate is the observed bad fraction divided by the objective's
+// error budget (1 - target): burn 1.0 spends the budget exactly at the
+// target rate, burn N spends it N times too fast. An objective breaches
+// when both windows exceed their thresholds; the fast window alone is
+// the early-warning signal admission control keys on.
+//
+// On top of the engine sit three consumers:
+//
+//   - A health Scorer folds burn rates and subsystem probes (worker-pool
+//     saturation, program-cache pressure, reconfig stalls) into per-
+//     component scores and one overall score — the per-node signal
+//     served at /v1/health (and gossiped by cluster mode).
+//   - An admission Controller ticks the engine and, when the configured
+//     queue-wait objective burns too fast, drives a shed level into the
+//     QoS layer (qos.Registry.ApplyShed), tightening effective token-
+//     bucket rates — heaviest burners first — and relaxing as the burn
+//     subsides.
+//   - A breach flight recorder: every objective state escalation is
+//     logged with a snapshot of the slow-trace ring, so each SLO
+//     violation on /debug/slo links directly to representative traces
+//     (whose IDs resolve on /debug/traces and, via exemplars, on
+//     /metrics).
+//
+// Objectives and admission behavior are configured by a JSON file
+// (rapserve -slo-config) reloaded on SIGHUP, mirroring the QoS limits
+// file. The zero Config means "defaults, admission off": the engine and
+// health endpoints always run; shedding is opt-in.
+package slo

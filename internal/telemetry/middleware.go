@@ -37,6 +37,18 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // and trace ID. Handlers and the service layer attach per-stage spans to
 // the ambient trace via TraceFromContext.
 func Middleware(tracer *Tracer, logger *slog.Logger, next http.Handler) http.Handler {
+	return MiddlewareObserved(tracer, logger, nil, next)
+}
+
+// RequestObserver receives every finished request's status, total
+// duration and trace — the hook the SLO engine uses to count request
+// latency and error-rate events without the middleware knowing about
+// objectives.
+type RequestObserver func(status int, d time.Duration, tr *Trace)
+
+// MiddlewareObserved is Middleware plus a per-request observer callback
+// (nil obs behaves exactly like Middleware).
+func MiddlewareObserved(tracer *Tracer, logger *slog.Logger, obs RequestObserver, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tr := tracer.Start(r.Method+" "+r.URL.Path, r.Header.Get(TraceParentHeader))
 		if id := tr.ID(); id != "" {
@@ -51,6 +63,9 @@ func Middleware(tracer *Tracer, logger *slog.Logger, next http.Handler) http.Han
 		d := tracer.Finish(tr)
 		if d == 0 {
 			d = time.Since(start)
+		}
+		if obs != nil {
+			obs(sw.status, d, tr)
 		}
 		if logger != nil {
 			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWriteOpenMetricsGolden pins the OpenMetrics exposition down to the
+// byte: counter families drop the _total suffix in metadata only,
+// histogram buckets carry trace-linked exemplar clauses with 3-decimal
+// unix-second timestamps, and the exposition terminates with # EOF.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rap_test_scans_total", "Scans processed.")
+	c.Add(5)
+	h := r.Histogram("rap_test_duration_us", "Test latency.", L("stage", "scan"))
+	at := time.Unix(1700000000, 250_000_000)
+	h.ObserveValueExemplarAt(3, "0af7651916cd43dd8448eb211c80319c", at)
+	h.ObserveValue(1)
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rap_test_scans Scans processed.
+# TYPE rap_test_scans counter
+rap_test_scans_total 5
+# HELP rap_test_duration_us Test latency.
+# TYPE rap_test_duration_us histogram
+rap_test_duration_us_bucket{stage="scan",le="1"} 1
+rap_test_duration_us_bucket{stage="scan",le="3"} 2 # {trace_id="0af7651916cd43dd8448eb211c80319c"} 3 1700000000.250
+rap_test_duration_us_bucket{stage="scan",le="+Inf"} 2
+rap_test_duration_us_sum{stage="scan"} 4
+rap_test_duration_us_count{stage="scan"} 2
+# EOF
+`
+	if got := b.String(); got != want {
+		t.Errorf("openmetrics exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The Prometheus rendering of the same registry keeps the full
+	// counter name in metadata, emits no exemplars, and has no # EOF.
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	prom := b.String()
+	if !strings.Contains(prom, "# TYPE rap_test_scans_total counter") {
+		t.Errorf("prometheus metadata lost _total suffix:\n%s", prom)
+	}
+	if strings.Contains(prom, "trace_id") || strings.Contains(prom, "# EOF") {
+		t.Errorf("prometheus exposition leaked openmetrics syntax:\n%s", prom)
+	}
+}
+
+func TestExemplarWithoutTimestamp(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_us", "")
+	h.ObserveValueExemplarAt(1, "abc", time.Unix(0, 0)) // UnixNano 0 = no timestamp
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := `h_us_bucket{le="1"} 1 # {trace_id="abc"} 1`
+	if !strings.Contains(b.String(), wantLine+"\n") {
+		t.Errorf("timestampless exemplar line missing %q in:\n%s", wantLine, b.String())
+	}
+}
+
+func TestAcceptsOpenMetrics(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"text/plain", false},
+		{"application/openmetrics-text", true},
+		{"application/openmetrics-text; version=1.0.0; charset=utf-8", true},
+		{"text/plain;q=0.5, application/openmetrics-text;version=1.0.0;q=0.8", true},
+		{"application/json", false},
+	}
+	for _, tc := range cases {
+		if got := AcceptsOpenMetrics(tc.accept); got != tc.want {
+			t.Errorf("AcceptsOpenMetrics(%q) = %v, want %v", tc.accept, got, tc.want)
+		}
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get("Content-Type"); got != ContentTypeOpenMetrics {
+		t.Errorf("openmetrics content type: %q", got)
+	}
+	if body := rec.Body.String(); !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("openmetrics body missing # EOF terminator:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != ContentTypePrometheus {
+		t.Errorf("fallback content type: %q", got)
+	}
+	if body := rec.Body.String(); strings.Contains(body, "# EOF") {
+		t.Errorf("prometheus fallback contains # EOF:\n%s", body)
+	}
+}
+
+// TestConcurrentExemplarObserveAndScrape hammers a histogram with
+// trace-linked observations while scraping the OpenMetrics exposition —
+// the -race proof that exemplar capture is safe against the scrape path.
+func TestConcurrentExemplarObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hot_us", "Hot histogram.")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := []string{"aaaa", "bbbb", "cccc"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.ObserveValueExemplar(int64(i%4096), ids[i%len(ids)])
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WriteOpenMetrics(&b); err != nil {
+			t.Error(err)
+			break
+		}
+		if !strings.HasSuffix(b.String(), "# EOF\n") {
+			t.Errorf("scrape %d missing # EOF", i)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

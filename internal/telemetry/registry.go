@@ -131,23 +131,64 @@ func (r *Registry) Collect(fn func(*Collector)) {
 // WritePrometheus writes every registered instrument in Prometheus text
 // exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics writes every registered instrument in OpenMetrics
+// text format (version 1.0.0): counter families drop their `_total`
+// suffix in metadata lines, histogram buckets carry trace-linked
+// exemplars, and the exposition is terminated with `# EOF`.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	collectors := make([]func(*Collector), len(r.collectors))
 	copy(collectors, r.collectors)
 	r.mu.Unlock()
 	c := newCollector()
+	c.openMetrics = openMetrics
 	for _, fn := range collectors {
 		fn(c)
 	}
 	return c.write(w)
 }
 
-// Handler serves GET /metrics. Responses are marked Cache-Control:
-// no-store — every scrape must observe live counters.
+// ContentTypePrometheus and ContentTypeOpenMetrics are the exposition
+// content types /metrics negotiates between.
+const (
+	ContentTypePrometheus  = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// AcceptsOpenMetrics reports whether an Accept header value asks for the
+// OpenMetrics exposition format.
+func AcceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
+
+// Handler serves GET /metrics. The exposition format is negotiated from
+// the Accept header: scrapers asking for application/openmetrics-text
+// (Prometheus does, when exemplar ingestion is on) get OpenMetrics with
+// exemplars and the `# EOF` terminator; everyone else gets the classic
+// Prometheus text format. Responses are marked Cache-Control: no-store —
+// every scrape must observe live counters.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Header().Set("Cache-Control", "no-store")
+		if AcceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypePrometheus)
 		_ = r.WritePrometheus(w)
 	})
 }
@@ -159,6 +200,9 @@ func (r *Registry) Handler() http.Handler {
 type Collector struct {
 	order []string
 	fams  map[string]*family
+	// openMetrics selects the OpenMetrics exposition: exemplars are
+	// captured from histograms and metadata follows OpenMetrics naming.
+	openMetrics bool
 }
 
 type family struct {
@@ -168,9 +212,10 @@ type family struct {
 }
 
 type sample struct {
-	suffix string // "", "_bucket", "_sum", "_count"
-	labels []Label
-	value  float64
+	suffix   string // "", "_bucket", "_sum", "_count"
+	labels   []Label
+	value    float64
+	exemplar *metrics.Exemplar // OpenMetrics bucket exemplar, or nil
 }
 
 func newCollector() *Collector {
@@ -178,13 +223,17 @@ func newCollector() *Collector {
 }
 
 func (c *Collector) add(name, help, typ, suffix string, labels []Label, v float64) {
+	c.addExemplar(name, help, typ, suffix, labels, v, nil)
+}
+
+func (c *Collector) addExemplar(name, help, typ, suffix string, labels []Label, v float64, ex *metrics.Exemplar) {
 	f, ok := c.fams[name]
 	if !ok {
 		f = &family{help: help, typ: typ}
 		c.fams[name] = f
 		c.order = append(c.order, name)
 	}
-	f.samples = append(f.samples, sample{suffix: suffix, labels: labels, value: v})
+	f.samples = append(f.samples, sample{suffix: suffix, labels: labels, value: v, exemplar: ex})
 }
 
 // Counter emits one counter sample.
@@ -204,6 +253,15 @@ func (c *Collector) Gauge(name, help string, v float64, labels ...Label) {
 // which the format requires.
 func (c *Collector) Histogram(name, help string, h *metrics.Histogram, labels ...Label) {
 	counts := h.BucketCounts()
+	exemplar := func(i int) *metrics.Exemplar {
+		if !c.openMetrics {
+			return nil
+		}
+		if e, ok := h.ExemplarAt(i); ok {
+			return &e
+		}
+		return nil
+	}
 	cum := int64(0)
 	for i, n := range counts {
 		cum += n
@@ -211,11 +269,11 @@ func (c *Collector) Histogram(name, help string, h *metrics.Histogram, labels ..
 			continue
 		}
 		le := strconv.FormatInt(metrics.BucketUpperBound(i), 10)
-		c.add(name, help, "histogram", "_bucket",
-			append(append([]Label(nil), labels...), L("le", le)), float64(cum))
+		c.addExemplar(name, help, "histogram", "_bucket",
+			append(append([]Label(nil), labels...), L("le", le)), float64(cum), exemplar(i))
 	}
-	c.add(name, help, "histogram", "_bucket",
-		append(append([]Label(nil), labels...), L("le", "+Inf")), float64(cum))
+	c.addExemplar(name, help, "histogram", "_bucket",
+		append(append([]Label(nil), labels...), L("le", "+Inf")), float64(cum), exemplar(len(counts)-1))
 	c.add(name, help, "histogram", "_sum", labels, float64(h.Sum()))
 	c.add(name, help, "histogram", "_count", labels, float64(h.Count()))
 }
@@ -224,21 +282,47 @@ func (c *Collector) write(w io.Writer) error {
 	var b strings.Builder
 	for _, name := range c.order {
 		f := c.fams[name]
-		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(f.help))
+		// OpenMetrics counter metadata names the family without the
+		// `_total` suffix; the sample lines keep it. The Prometheus
+		// format uses the full name in both places.
+		meta := name
+		if c.openMetrics && f.typ == "counter" {
+			meta = strings.TrimSuffix(name, "_total")
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.typ)
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", meta, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", meta, f.typ)
 		for _, s := range f.samples {
 			b.WriteString(name)
 			b.WriteString(s.suffix)
 			writeLabels(&b, s.labels)
 			b.WriteByte(' ')
 			b.WriteString(formatValue(s.value))
+			if c.openMetrics && s.exemplar != nil {
+				writeExemplar(&b, s.exemplar)
+			}
 			b.WriteByte('\n')
 		}
 	}
+	if c.openMetrics {
+		b.WriteString("# EOF\n")
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeExemplar appends one OpenMetrics exemplar clause:
+// ` # {trace_id="..."} <value> [<unix seconds>]`.
+func writeExemplar(b *strings.Builder, ex *metrics.Exemplar) {
+	b.WriteString(` # {trace_id="`)
+	b.WriteString(escapeLabel(ex.TraceID))
+	b.WriteString(`"} `)
+	b.WriteString(formatValue(float64(ex.Value)))
+	if ex.UnixNano != 0 {
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(float64(ex.UnixNano)/1e9, 'f', 3, 64))
+	}
 }
 
 func writeLabels(b *strings.Builder, labels []Label) {

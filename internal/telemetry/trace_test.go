@@ -185,3 +185,33 @@ func TestMiddleware(t *testing.T) {
 		t.Errorf("attrs = %+v", got.Attrs)
 	}
 }
+
+// TestTraceParentStable pins the fix for the span-ID churn bug: every
+// render of the traceparent header must carry the same span ID, so
+// downstream services all see the same parent span.
+func TestTraceParentStable(t *testing.T) {
+	tracer := NewTracer(4, 0)
+	tr := tracer.Start("GET /x", "")
+	first := tr.TraceParent()
+	for i := 0; i < 10; i++ {
+		if got := tr.TraceParent(); got != first {
+			t.Fatalf("TraceParent changed between renders: %q then %q", first, got)
+		}
+	}
+	id, span, ok := ParseTraceParent(first)
+	if !ok {
+		t.Fatalf("TraceParent %q does not parse", first)
+	}
+	if id != tr.ID() || span != tr.SpanID() {
+		t.Fatalf("header (%s,%s) != trace (%s,%s)", id, span, tr.ID(), tr.SpanID())
+	}
+
+	// Propagation: a child trace records the parent's span ID verbatim.
+	child := tracer.Start("GET /y", first)
+	if child.ID() != tr.ID() {
+		t.Fatalf("child trace ID %s != parent %s", child.ID(), tr.ID())
+	}
+	if child.SpanID() == tr.SpanID() {
+		t.Fatal("child minted no span ID of its own")
+	}
+}

@@ -36,6 +36,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -70,6 +71,7 @@ func main() {
 	out := flag.String("out", "", "directory for CSV outputs (optional)")
 	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<exp>.json records (optional)")
 	parallel := flag.Bool("parallel", true, "run per-dataset work concurrently")
+	guard := flag.String("guard", "", "baseline BENCH_scan.json: exit non-zero if the scan headline (best Teddy MB/s) drops more than 20% below it")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, InputLen: *inputLen, OutDir: *out, Parallel: *parallel}
@@ -88,6 +90,12 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Println(t.String())
 		fmt.Printf("(%s in %.1fs)\n\n", name, elapsed.Seconds())
+		if *guard != "" && name == "scan" {
+			if err := guardScan(t, *guard); err != nil {
+				fmt.Fprintf(os.Stderr, "rapbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *jsonDir != "" {
 			rec := benchRecord{
 				Name:            name,
@@ -113,4 +121,39 @@ func main() {
 	if *jsonDir != "" {
 		fmt.Printf("BENCH_*.json records written to %s\n", *jsonDir)
 	}
+}
+
+// guardTolerance is how far the scan headline may fall below the
+// committed baseline before the guard fails the run. Benchmarks on shared
+// CI runners are noisy; 20% catches real kernel regressions (which cost
+// 2x+) without tripping on scheduler jitter.
+const guardTolerance = 0.80
+
+// guardScan compares the fresh scan table's headline (best Teddy MB/s
+// cell) against the committed baseline record and fails on a regression
+// beyond the tolerance.
+func guardScan(t *metrics.Table, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("guard: %w", err)
+	}
+	var base benchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("guard: %s: %w", baselinePath, err)
+	}
+	const column = "Teddy MB/s"
+	want, err := experiments.ScanHeadline(base.Table, column)
+	if err != nil {
+		return fmt.Errorf("guard: baseline: %w", err)
+	}
+	got, err := experiments.ScanHeadline(t, column)
+	if err != nil {
+		return fmt.Errorf("guard: current: %w", err)
+	}
+	if got < want*guardTolerance {
+		return fmt.Errorf("guard: scan headline %.1f MB/s is %.0f%% below the committed baseline %.1f MB/s (tolerance %.0f%%)",
+			got, 100*(1-got/want), want, 100*(1-guardTolerance))
+	}
+	fmt.Printf("guard: scan headline %.1f MB/s vs baseline %.1f MB/s — ok\n\n", got, want)
+	return nil
 }

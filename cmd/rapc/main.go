@@ -30,6 +30,7 @@ import (
 	"repro/internal/automata"
 	"repro/internal/bitstream"
 	"repro/internal/compile"
+	"repro/internal/input"
 	"repro/internal/mapper"
 	"repro/internal/metrics"
 	"repro/internal/mnrl"
@@ -222,11 +223,14 @@ func diffImages(oldPath, newPath string) error {
 }
 
 func loadImage(path string) (*bitstream.Image, error) {
-	data, err := os.ReadFile(path)
+	// Zero-copy ingest: the image is parsed straight off the mapped pages
+	// (Parse copies every field, so unmapping afterwards is safe).
+	buf, err := input.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	img, err := bitstream.Parse(data)
+	defer buf.Close()
+	img, err := bitstream.Parse(buf.Data)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/automata"
 	"repro/internal/compile"
 	"repro/internal/core"
+	ingest "repro/internal/input"
 	"repro/internal/mapper"
 	"repro/internal/mnrl"
 	"repro/internal/patfile"
@@ -55,11 +56,14 @@ func main() {
 	var input []byte
 	switch {
 	case *inFile != "":
-		data, err := os.ReadFile(*inFile)
+		// Zero-copy ingest: the scan engines read straight from the mapped
+		// pages; the mapping stays live for the whole run.
+		buf, err := ingest.Open(*inFile)
 		if err != nil {
 			fatal(err)
 		}
-		input = data
+		defer buf.Close()
+		input = buf.Data
 	case *gen != "":
 		d, err := workload.Generate(*gen, 1, *seed)
 		if err != nil {

@@ -1,0 +1,87 @@
+package input
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenRegularFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	content := bytes.Repeat([]byte("zero-copy ingest "), 1000)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Data, content) {
+		t.Fatalf("Data mismatch: %d bytes, want %d", len(b.Data), len(content))
+	}
+	if !b.Mapped {
+		t.Log("note: fell back to heap read on this platform")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Data != nil {
+		t.Error("Data not cleared by Close")
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if len(b.Data) != 0 {
+		t.Errorf("Data = %q, want empty", b.Data)
+	}
+	if b.Mapped {
+		t.Error("empty file should not be mapped")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCloseNil(t *testing.T) {
+	var b *Buffer
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRetention(t *testing.T) {
+	p := NewPool(64, 1024)
+	buf := p.Get()
+	if len(buf) != 0 || cap(buf) < 64 {
+		t.Fatalf("Get: len %d cap %d", len(buf), cap(buf))
+	}
+	buf = append(buf, bytes.Repeat([]byte("x"), 100)...)
+	p.Put(buf)
+	again := p.Get()
+	if len(again) != 0 {
+		t.Errorf("recycled buffer has len %d, want 0", len(again))
+	}
+	// Oversized buffers are dropped, not retained.
+	big := make([]byte, 0, 4096)
+	p.Put(big)
+	if got := p.Get(); cap(got) > 1024 {
+		t.Errorf("pool retained %d-cap buffer past the %d cap", cap(got), 1024)
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package input
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("input: memory mapping unsupported on this platform")
+
+// mmapFile always fails here; Open falls back to a heap read.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmap(_ []byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package input
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only, shared with the page cache.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if int64(int(size)) != size {
+		return nil, syscall.EFBIG
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

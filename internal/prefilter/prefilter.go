@@ -34,6 +34,10 @@ type Verdict struct {
 	Literals []string `json:"literals,omitempty"`
 	// Reason names the fallback cause when not Prefilterable.
 	Reason string `json:"reason,omitempty"`
+	// Tier names the candidate-scanner tier of the compiled literal union
+	// (memchr, bytetable, teddy, ac). Set once the program's literal Set is
+	// built — it depends on every prefiltered pattern, not this one alone.
+	Tier string `json:"tier,omitempty"`
 }
 
 func (v Verdict) String() string {

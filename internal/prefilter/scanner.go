@@ -1,23 +1,63 @@
 package prefilter
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/simdscan"
+)
+
+// Tier names the candidate-scanner representation a Set compiled to,
+// exported on /metrics as the rap_prefilter_tier label.
+type Tier int
+
+const (
+	// TierMemchr is the single-byte skip loop (bytes.IndexByte).
+	TierMemchr Tier = iota
+	// TierByteTable is the 256-entry membership table over single bytes.
+	TierByteTable
+	// TierTeddy is the word-at-a-time fingerprint scanner for multi-byte
+	// literal sets up to simdscan.TeddyMaxLiterals.
+	TierTeddy
+	// TierAC is the dense Aho-Corasick DFA fallback.
+	TierAC
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierMemchr:
+		return "memchr"
+	case TierByteTable:
+		return "bytetable"
+	case TierTeddy:
+		return "teddy"
+	default:
+		return "ac"
+	}
+}
 
 // Set is the compiled candidate scanner for the union of every
 // prefiltered pattern's mandatory literals. It is immutable after
 // NewSet and shared read-only by all streams, like the Machine it gates.
 //
-// Three representations, picked at compile time:
+// Four representations, picked at compile time:
 //   - one distinct single byte  -> memchr-style skip loop (bytes.IndexByte)
 //   - all literals single bytes -> 256-entry membership table
+//   - 1–32 multi-byte literals  -> Teddy fingerprint scanner (simdscan)
 //   - anything else             -> dense Aho-Corasick DFA over the trie
 type Set struct {
 	window int // longest prefiltered pattern length, in states/bytes
+	tier   Tier
 
 	single    byte // memchr fast path when hasSingle
 	hasSingle bool
 
 	oneByte  bool // all literals are single bytes: table loop
 	byteMask [256]bool
+
+	// Teddy fingerprint scanner (TierTeddy). Its history requirement,
+	// MaxLen-1 bytes, is always met by the stream's window-sized history
+	// because every literal fits the window.
+	teddy *simdscan.Teddy
 
 	// Aho-Corasick DFA: next[s][b] is the successor state, out[s] reports
 	// a literal ending at s (directly or along the fail chain).
@@ -59,14 +99,51 @@ func NewSet(lits [][]byte, window int) (*Set, error) {
 			}
 		}
 		s.hasSingle = distinct == 1
+		s.tier = TierByteTable
+		if s.hasSingle {
+			s.tier = TierMemchr
+		}
 		return s, nil
 	}
+	// Multi-byte sets small enough for the fingerprint tier scan on the
+	// word-at-a-time Teddy kernel; NewTeddy rejects sets with single-byte
+	// literals or too many distinct literals, which fall through to AC.
+	if t, err := simdscan.NewTeddy(lits); err == nil {
+		s.teddy = t
+		s.tier = TierTeddy
+		return s, nil
+	}
+	s.buildAC(lits)
+	s.tier = TierAC
+	return s, nil
+}
+
+// NewSetAC compiles the literal set straight to the Aho-Corasick tier,
+// bypassing tier selection. It is the baseline the fingerprint tier is
+// benchmarked and differentially fuzzed against; production callers use
+// NewSet.
+func NewSetAC(lits [][]byte, window int) (*Set, error) {
+	if len(lits) == 0 {
+		return nil, fmt.Errorf("prefilter: empty literal set")
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("prefilter: window %d < 1", window)
+	}
+	for _, l := range lits {
+		if len(l) == 0 || len(l) > window {
+			return nil, fmt.Errorf("prefilter: literal %q does not fit window %d", l, window)
+		}
+	}
+	s := &Set{window: window, tier: TierAC}
 	s.buildAC(lits)
 	return s, nil
 }
 
 // Window returns the window radius the set was compiled for.
 func (s *Set) Window() int { return s.window }
+
+// Tier returns the candidate-scanner representation the set compiled to.
+func (s *Set) Tier() Tier { return s.tier }
 
 // buildAC constructs the goto trie, resolves fail links breadth-first and
 // flattens everything into a dense DFA (next fully resolved, out folded

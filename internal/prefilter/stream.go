@@ -3,6 +3,8 @@ package prefilter
 import (
 	"bytes"
 	"time"
+
+	"repro/internal/simdscan"
 )
 
 // span is one candidate window in global stream offsets, inclusive.
@@ -18,7 +20,8 @@ type span struct{ a, b int }
 type Stream struct {
 	set *Set
 
-	state        int32  // AC DFA state (unused on byte-table paths)
+	state        int32 // AC DFA state (unused on other tiers)
+	tstate       simdscan.TeddyState
 	pos          int    // global offset of the next byte to consume
 	scannedUntil int    // last global offset delivered to the automaton
 	activeUntil  int    // open window extending past the last chunk, or -1
@@ -36,6 +39,7 @@ func (s *Set) NewStream() *Stream {
 // Reset restores offset 0 with no pending windows or history.
 func (st *Stream) Reset() {
 	st.state = 0
+	st.tstate = simdscan.TeddyState{}
 	st.pos = 0
 	st.scannedUntil = -1
 	st.activeUntil = -1
@@ -89,6 +93,12 @@ func (st *Stream) Scan(chunk []byte, scan func(base int, data []byte), reset fun
 				st.addHit(base+i, w)
 			}
 		}
+	case st.set.teddy != nil:
+		// st.hist still holds the bytes before this chunk (it is refreshed
+		// after phase 2), exactly what cross-boundary verification reads.
+		st.tstate = st.set.teddy.Scan(chunk, st.hist, st.tstate, func(end int) {
+			st.addHit(base+end, w)
+		})
 	default:
 		s, next, out := st.state, st.set.next, st.set.out
 		for i := 0; i < len(chunk); i++ {

@@ -1,0 +1,148 @@
+package prefilter
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTierSelection pins the representation each literal-set shape
+// compiles to.
+func TestTierSelection(t *testing.T) {
+	cases := []struct {
+		lits []string
+		want Tier
+	}{
+		{[]string{"a"}, TierMemchr},
+		{[]string{"a", "a"}, TierMemchr},
+		{[]string{"a", "b"}, TierByteTable},
+		{[]string{"ab"}, TierTeddy},
+		{[]string{"needle", "pin", "tack"}, TierTeddy},
+		{[]string{"ab", "c"}, TierAC}, // single-byte literal blocks fingerprints
+	}
+	var many []string
+	for i := 0; i < 33; i++ {
+		many = append(many, fmt.Sprintf("lit%02d", i))
+	}
+	cases = append(cases, struct {
+		lits []string
+		want Tier
+	}{many, TierAC}) // over the teddy cap
+
+	for _, tc := range cases {
+		lits := make([][]byte, len(tc.lits))
+		w := 1
+		for i, l := range tc.lits {
+			lits[i] = []byte(l)
+			if len(l) > w {
+				w = len(l)
+			}
+		}
+		s, err := NewSet(lits, w+2)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.lits, err)
+		}
+		if s.Tier() != tc.want {
+			t.Errorf("%q: tier %v, want %v", tc.lits, s.Tier(), tc.want)
+		}
+	}
+}
+
+// streamRanges collects every (base, len) range a stream delivers to the
+// automaton over the given chunking, plus the reset positions — the full
+// observable behavior of a Set behind Scan.
+func streamRanges(s *Set, data []byte, chunkSizes []int) string {
+	st := s.NewStream()
+	var out []string
+	pos := 0
+	ci := 0
+	for pos < len(data) {
+		n := chunkSizes[ci%len(chunkSizes)]
+		ci++
+		if n < 1 {
+			n = 1
+		}
+		if pos+n > len(data) {
+			n = len(data) - pos
+		}
+		st.Scan(data[pos:pos+n],
+			func(base int, d []byte) { out = append(out, fmt.Sprintf("%d+%d", base, len(d))) },
+			func() { out = append(out, "R") })
+		pos += n
+	}
+	return fmt.Sprint(out, st.Stats().LiteralHits)
+}
+
+// FuzzFingerprintDifferential proves the fingerprint tier never drops a
+// candidate: for any teddy-eligible literal set, a Set compiled to the
+// Teddy scanner must deliver byte-for-byte the same candidate ranges,
+// resets, and literal-hit count as the same literals compiled straight to
+// the Aho-Corasick DFA — including literal occurrences split across chunk
+// boundaries, which the fuzzer controls through the chunk size byte.
+func FuzzFingerprintDifferential(f *testing.F) {
+	f.Add([]byte("ab,cd"), []byte("xxabyycdxx"), uint8(3))
+	f.Add([]byte("needle"), []byte("say needle twice: needleneedle"), uint8(1))
+	f.Add([]byte("aa,aaa,aaaa"), []byte("aaaaaaaaaa"), uint8(4))
+	f.Fuzz(func(t *testing.T, litSpec, data []byte, chunk uint8) {
+		// litSpec: comma-separated literals, invalid shapes skipped.
+		var lits [][]byte
+		start := 0
+		for i := 0; i <= len(litSpec); i++ {
+			if i == len(litSpec) || litSpec[i] == ',' {
+				if i > start {
+					lits = append(lits, litSpec[start:i])
+				}
+				start = i + 1
+			}
+		}
+		if len(lits) == 0 {
+			t.Skip()
+		}
+		w := 0
+		for _, l := range lits {
+			if len(l) > w {
+				w = len(l)
+			}
+		}
+		teddySet, err := NewSet(lits, w)
+		if err != nil || teddySet.Tier() != TierTeddy {
+			t.Skip() // not a fingerprint-tier shape
+		}
+		acSet, err := NewSetAC(lits, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sizes := []int{1 + int(chunk)%64}
+		got := streamRanges(teddySet, data, sizes)
+		want := streamRanges(acSet, data, sizes)
+		if got != want {
+			t.Fatalf("lits %q chunk %d:\nteddy %s\nac    %s", lits, sizes[0], got, want)
+		}
+	})
+}
+
+// TestFingerprintDifferentialSeeds runs the fuzz seeds as a plain test so
+// `go test` exercises the differential without -fuzz.
+func TestFingerprintDifferentialSeeds(t *testing.T) {
+	lits := [][]byte{[]byte("ab"), []byte("abcd"), []byte("dcba"), []byte("bb")}
+	data := []byte("zabz abcd dcbabb ab abcdcba zzzz bb")
+	w := 4
+	teddySet, err := NewSet(lits, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teddySet.Tier() != TierTeddy {
+		t.Fatalf("tier %v, want teddy", teddySet.Tier())
+	}
+	acSet, err := NewSetAC(lits, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sizes := range [][]int{{1}, {2}, {5}, {len(data)}} {
+		got := streamRanges(teddySet, data, sizes)
+		want := streamRanges(acSet, data, sizes)
+		if got != want {
+			t.Fatalf("chunks %v:\nteddy %s\nac    %s", sizes, got, want)
+		}
+	}
+}

@@ -346,6 +346,14 @@ func Compile(ctx context.Context, patterns []string, opts Options) (*Matcher, er
 		}
 		m.saFast = sa
 		m.pf = pf
+		// The tier is a property of the compiled literal union, so it is
+		// only known now — backfill it onto the prefiltered verdicts.
+		tier := pf.Tier().String()
+		for i := range m.verdicts {
+			if m.verdicts[i].Prefilterable {
+				m.verdicts[i].Tier = tier
+			}
+		}
 	}
 	return m, nil
 }
@@ -439,6 +447,16 @@ func (m *Matcher) PrefilterVerdicts() []prefilter.Verdict { return m.verdicts }
 
 // HasPrefilter reports whether any pattern runs on the prefiltered path.
 func (m *Matcher) HasPrefilter() bool { return m.pf != nil }
+
+// PrefilterTier returns the candidate-scanner tier the literal union
+// compiled to ("memchr", "bytetable", "teddy" or "ac"), or the empty
+// string when no pattern is prefiltered.
+func (m *Matcher) PrefilterTier() string {
+	if m.pf == nil {
+		return ""
+	}
+	return m.pf.Tier().String()
+}
 
 // NumPatterns returns the number of compiled patterns.
 func (m *Matcher) NumPatterns() int { return len(m.patterns) }

@@ -7,9 +7,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
+	"repro/internal/input"
 	"repro/internal/qos"
 	"repro/internal/refmatch"
 	"repro/internal/slo"
@@ -24,9 +24,7 @@ const maxBodyBytes = 32 << 20
 // for the life of the process.
 const maxPooledBody = 1 << 20
 
-var bodyPool = sync.Pool{
-	New: func() interface{} { b := make([]byte, 0, 64<<10); return &b },
-}
+var bodyPool = input.NewPool(64<<10, maxPooledBody)
 
 // readBody reads the whole request body into a pooled buffer, capped at
 // maxBodyBytes (the data-plane handlers previously io.ReadAll'd a fresh
@@ -35,7 +33,7 @@ var bodyPool = sync.Pool{
 // matches carry offsets only and the streaming engines copy what little
 // history they keep.
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
-	buf := (*bodyPool.Get().(*[]byte))[:0]
+	buf := bodyPool.Get()
 	if n := r.ContentLength; n > 0 && n <= maxBodyBytes && int(n) > cap(buf) {
 		buf = make([]byte, 0, n)
 	}
@@ -57,13 +55,7 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 }
 
 // putBody returns a readBody buffer to the pool.
-func putBody(buf []byte) {
-	if cap(buf) > maxPooledBody {
-		return
-	}
-	b := buf[:0]
-	bodyPool.Put(&b)
-}
+func putBody(buf []byte) { bodyPool.Put(buf) }
 
 // Handler returns the HTTP surface of the service. The API is versioned
 // under /v1/:

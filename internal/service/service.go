@@ -157,6 +157,9 @@ type Service struct {
 	pfSkipped *metrics.Counter
 	pfHits    *metrics.Counter
 	pfWindows *metrics.Counter
+	// pfTier counts scans/chunks by the candidate-scanner tier of the
+	// program's compiled literal union (pre-registered per tier).
+	pfTier map[string]*metrics.Counter
 
 	// Data-parallel (SFA) scan path counters.
 	sfaScans       *metrics.Counter
@@ -733,6 +736,11 @@ func (s *Service) account(prog *Program, sess *session, ten *qos.Tenant, nbytes,
 	s.pfSkipped.Add(pf.SkippedBytes)
 	s.pfHits.Add(pf.LiteralHits)
 	s.pfWindows.Add(pf.Windows)
+	if tier := prog.Matcher.PrefilterTier(); tier != "" {
+		if c := s.pfTier[tier]; c != nil {
+			c.Inc()
+		}
+	}
 	if sess != nil {
 		sess.bytes.Add(int64(nbytes))
 		sess.matches.Add(int64(nmatches))

@@ -41,6 +41,11 @@ func (s *Service) registerMetrics() {
 	s.pfSkipped = r.Counter("rap_prefilter_skipped_bytes_total", "Bytes the literal prefilter proved match-free and skipped.")
 	s.pfHits = r.Counter("rap_prefilter_literal_hits_total", "Mandatory-literal occurrences found by the prefilter.")
 	s.pfWindows = r.Counter("rap_prefilter_windows_total", "Candidate windows delivered to the match automata.")
+	s.pfTier = map[string]*metrics.Counter{}
+	const tierHelp = "Scans and chunks served, by the candidate-scanner tier of the program's literal union."
+	for _, tier := range []string{"memchr", "bytetable", "teddy", "ac"} {
+		s.pfTier[tier] = r.Counter("rap_prefilter_tier", tierHelp, telemetry.L("tier", tier))
+	}
 
 	// Data-parallel (Simultaneous-FA) scan path: volume, join cost, and
 	// serial fallbacks by typed reason. The reason series are registered

@@ -37,7 +37,8 @@ type Machine struct {
 	maskFinal   bitvec.Vector
 	states      bitvec.Vector
 	scratch     bitvec.Vector
-	k64         *kernel64 // single-word fast path when NumStates <= 64
+	k64         *kernel64  // single-word fast path when NumStates <= 64
+	k128        *kernel128 // two-word fast path when 64 < NumStates <= 128
 }
 
 // New builds a machine for the given patterns packed in order. Patterns
@@ -78,8 +79,11 @@ func New(patterns []Pattern) (*Machine, error) {
 		}
 		m.labels[c] = v
 	}
-	if total > 0 && total <= 64 {
+	switch {
+	case total > 0 && total <= 64:
 		m.k64 = newKernel64(m)
+	case total > 64 && total <= 128:
+		m.k128 = newKernel128(m)
 	}
 	return m, nil
 }

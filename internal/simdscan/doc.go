@@ -1,0 +1,32 @@
+// Package simdscan holds the word-at-a-time scan kernels of the software
+// fast path: pure Go routines that process 8 input bytes per loop
+// iteration with encoding/binary lane loads, standing in for the SIMD
+// kernels a Hyperscan-class engine would write in intrinsics.
+//
+// Two kernel families live here:
+//
+//   - Teddy: a multi-literal fingerprint prefilter in the lineage of
+//     Hyperscan's Teddy. Literals are grouped into at most 8 buckets;
+//     per fingerprint position a low-nibble and a high-nibble mask table
+//     map an input byte to the set of buckets it could continue. The
+//     scanner walks the input 8 bytes per load, ANDing the per-position
+//     masks through a rolling window; a nonzero result names the buckets
+//     whose literals may end at that byte, and a verify step confirms
+//     against the actual literal bytes. On real SIMD the nibble tables
+//     are PSHUFB operands examining 16 bytes per instruction; scalar Go
+//     gets the same table structure with the two nibble lookups fused
+//     into one 256-entry table per position.
+//
+//   - ScanShiftAnd64 / ScanShiftAnd128: word-at-a-time byte-class lookup
+//     kernels for Shift-And automata. The 256-entry class→mask label
+//     table is walked with unrolled 8-byte loads; the eight label
+//     lookups of a block are independent (no loop-carried address
+//     dependency, unlike a DFA walk), the shift/or/and state update is
+//     fused per byte, and the final-state test is hoisted to one branch
+//     per block with an exact replay only when some byte of the block
+//     fired.
+//
+// Everything in this package is allocation-free on the scan path and
+// safe for concurrent use: kernels are pure functions over caller state,
+// and compiled Teddy tables are immutable after NewTeddy.
+package simdscan

@@ -1,0 +1,122 @@
+package simdscan
+
+import "encoding/binary"
+
+// This file holds the word-at-a-time byte-class lookup kernels for
+// Shift-And automata. A Shift-And step is
+//
+//	state = (state<<1 | initial) & labels[b]
+//
+// whose state update is inherently serial — but the label lookups are
+// not: labels[b] depends only on the input byte, so an unrolled block of
+// eight loads has no loop-carried address dependency (unlike a DFA walk,
+// where every load waits on the previous one). The kernels below load 8
+// input bytes per binary.LittleEndian lane, issue the eight independent
+// class→mask lookups, run the fused shift/or/and chain through registers,
+// and test final states once per block — replaying the block exactly only
+// when some byte fired, which on scan workloads is rare.
+
+// ShiftAnd64 is the kernel input for machines of at most 64 packed
+// states: the 256-entry byte-class→mask table plus the initial/final
+// masks, all in single words.
+type ShiftAnd64 struct {
+	Labels  [256]uint64
+	Initial uint64
+	Final   uint64
+}
+
+// Scan advances state over data and returns the final state. For every
+// position where final states are active after the step it calls
+// emit(base+i, fired) with the fired final-state bits. It allocates
+// nothing.
+func (k *ShiftAnd64) Scan(state uint64, data []byte, base int, emit func(end int, fired uint64)) uint64 {
+	labels, initial, final := &k.Labels, k.Initial, k.Final
+	s := state
+	i, n := 0, len(data)
+	for ; i+8 <= n; i += 8 {
+		w := binary.LittleEndian.Uint64(data[i:])
+		l0, l1, l2, l3 := labels[byte(w)], labels[byte(w>>8)], labels[byte(w>>16)], labels[byte(w>>24)]
+		l4, l5, l6, l7 := labels[byte(w>>32)], labels[byte(w>>40)], labels[byte(w>>48)], labels[byte(w>>56)]
+		s0 := (s<<1 | initial) & l0
+		s1 := (s0<<1 | initial) & l1
+		s2 := (s1<<1 | initial) & l2
+		s3 := (s2<<1 | initial) & l3
+		s4 := (s3<<1 | initial) & l4
+		s5 := (s4<<1 | initial) & l5
+		s6 := (s5<<1 | initial) & l6
+		s7 := (s6<<1 | initial) & l7
+		if (s0|s1|s2|s3|s4|s5|s6|s7)&final != 0 {
+			for b, sv := range [8]uint64{s0, s1, s2, s3, s4, s5, s6, s7} {
+				if f := sv & final; f != 0 {
+					emit(base+i+b, f)
+				}
+			}
+		}
+		s = s7
+	}
+	for ; i < n; i++ {
+		s = (s<<1 | initial) & labels[data[i]]
+		if f := s & final; f != 0 {
+			emit(base+i, f)
+		}
+	}
+	return s
+}
+
+// ShiftAnd128 is the two-word kernel input for machines of 65–128 packed
+// states. Labels pack both words per byte so one cache line serves each
+// lookup pair.
+type ShiftAnd128 struct {
+	Labels  [256][2]uint64
+	Initial [2]uint64
+	Final   [2]uint64
+}
+
+// Scan advances the two-word state (s0 low bits 0–63, s1 bits 64–127)
+// over data, fusing the cross-word carry into the register chain. emit
+// receives the end offset, the fired word index (0 or 1) and the fired
+// bits of that word.
+func (k *ShiftAnd128) Scan(s0, s1 uint64, data []byte, base int, emit func(end, word int, fired uint64)) (uint64, uint64) {
+	labels := &k.Labels
+	i0, i1 := k.Initial[0], k.Initial[1]
+	f0, f1 := k.Final[0], k.Final[1]
+	i, n := 0, len(data)
+	step := func(a0, a1 uint64, l *[2]uint64) (uint64, uint64) {
+		carry := a0 >> 63
+		return (a0<<1 | i0) & l[0], (a1<<1 | carry | i1) & l[1]
+	}
+	for ; i+8 <= n; i += 8 {
+		w := binary.LittleEndian.Uint64(data[i:])
+		a0, a1 := step(s0, s1, &labels[byte(w)])
+		b0, b1 := step(a0, a1, &labels[byte(w>>8)])
+		c0, c1 := step(b0, b1, &labels[byte(w>>16)])
+		d0, d1 := step(c0, c1, &labels[byte(w>>24)])
+		e0, e1 := step(d0, d1, &labels[byte(w>>32)])
+		g0, g1 := step(e0, e1, &labels[byte(w>>40)])
+		h0, h1 := step(g0, g1, &labels[byte(w>>48)])
+		j0, j1 := step(h0, h1, &labels[byte(w>>56)])
+		anyLo := (a0 | b0 | c0 | d0 | e0 | g0 | h0 | j0) & f0
+		anyHi := (a1 | b1 | c1 | d1 | e1 | g1 | h1 | j1) & f1
+		if anyLo|anyHi != 0 {
+			for b, sv := range [8][2]uint64{{a0, a1}, {b0, b1}, {c0, c1}, {d0, d1}, {e0, e1}, {g0, g1}, {h0, h1}, {j0, j1}} {
+				if f := sv[0] & f0; f != 0 {
+					emit(base+i+b, 0, f)
+				}
+				if f := sv[1] & f1; f != 0 {
+					emit(base+i+b, 1, f)
+				}
+			}
+		}
+		s0, s1 = j0, j1
+	}
+	for ; i < n; i++ {
+		s0, s1 = step(s0, s1, &labels[data[i]])
+		if f := s0 & f0; f != 0 {
+			emit(base+i, 0, f)
+		}
+		if f := s1 & f1; f != 0 {
+			emit(base+i, 1, f)
+		}
+	}
+	return s0, s1
+}

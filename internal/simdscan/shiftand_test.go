@@ -1,0 +1,150 @@
+package simdscan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// stepRef is the per-byte reference semantics both kernels must match.
+func stepRef64(s uint64, k *ShiftAnd64, b byte) uint64 {
+	return (s<<1 | k.Initial) & k.Labels[b]
+}
+
+func randKernel64(rng *rand.Rand, states int) *ShiftAnd64 {
+	k := &ShiftAnd64{Initial: 1, Final: 1 << (states - 1)}
+	mask := uint64(1)<<states - 1
+	if states == 64 {
+		mask = ^uint64(0)
+	}
+	for c := 0; c < 256; c++ {
+		k.Labels[c] = rng.Uint64() & mask
+	}
+	return k
+}
+
+type fire struct {
+	end   int
+	fired uint64
+}
+
+func TestShiftAnd64Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, states := range []int{1, 7, 33, 64} {
+		for trial := 0; trial < 20; trial++ {
+			k := randKernel64(rng, states)
+			// Uneven lengths exercise unaligned block heads and tails.
+			data := make([]byte, rng.Intn(200))
+			for i := range data {
+				data[i] = byte(rng.Intn(8)) // few symbols: denser matches
+			}
+			var want []fire
+			s := uint64(0)
+			for i, b := range data {
+				s = stepRef64(s, k, b)
+				if f := s & k.Final; f != 0 {
+					want = append(want, fire{i, f})
+				}
+			}
+			var got []fire
+			end := k.Scan(0, data, 0, func(e int, f uint64) { got = append(got, fire{e, f}) })
+			if end != s {
+				t.Fatalf("states %d: final state %x, want %x", states, end, s)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("states %d: fires %v, want %v", states, got, want)
+			}
+		}
+	}
+}
+
+func stepRef128(s [2]uint64, k *ShiftAnd128, b byte) [2]uint64 {
+	carry := s[0] >> 63
+	l := k.Labels[b]
+	return [2]uint64{
+		(s[0]<<1 | k.Initial[0]) & l[0],
+		(s[1]<<1 | carry | k.Initial[1]) & l[1],
+	}
+}
+
+func TestShiftAnd128Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, states := range []int{65, 100, 128} {
+		hiMask := uint64(1)<<(states-64) - 1
+		if states == 128 {
+			hiMask = ^uint64(0)
+		}
+		for trial := 0; trial < 20; trial++ {
+			k := &ShiftAnd128{}
+			// Initial/final bits on both sides of the word boundary, plus a
+			// label pattern dense enough that carries propagate.
+			k.Initial = [2]uint64{1 | 1<<63, 1 & hiMask}
+			k.Final = [2]uint64{1 << 62, (1 << (uint(states-64) - 1))}
+			for c := 0; c < 256; c++ {
+				k.Labels[c] = [2]uint64{rng.Uint64(), rng.Uint64() & hiMask}
+			}
+			data := make([]byte, rng.Intn(300))
+			for i := range data {
+				data[i] = byte(rng.Intn(4))
+			}
+			var want []fire
+			s := [2]uint64{}
+			for i, b := range data {
+				s = stepRef128(s, k, b)
+				if f := s[0] & k.Final[0]; f != 0 {
+					want = append(want, fire{i, f})
+				}
+				if f := s[1] & k.Final[1]; f != 0 {
+					want = append(want, fire{i + 1<<20, f}) // tag word 1 fires
+				}
+			}
+			var got []fire
+			g0, g1 := k.Scan(0, 0, data, 0, func(e, w int, f uint64) {
+				got = append(got, fire{e + w<<20, f})
+			})
+			if g0 != s[0] || g1 != s[1] {
+				t.Fatalf("states %d: final (%x,%x), want (%x,%x)", states, g0, g1, s[0], s[1])
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("states %d trial %d: fires diverge\n got %v\nwant %v", states, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestShiftAnd64ChunkResume verifies state carried across chunked scans
+// equals one whole-buffer scan, for every split point of a small input.
+func TestShiftAnd64ChunkResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	k := randKernel64(rng, 48)
+	data := make([]byte, 50)
+	for i := range data {
+		data[i] = byte(rng.Intn(4))
+	}
+	var whole []fire
+	k.Scan(0, data, 0, func(e int, f uint64) { whole = append(whole, fire{e, f}) })
+	for split := 0; split <= len(data); split++ {
+		var got []fire
+		s := k.Scan(0, data[:split], 0, func(e int, f uint64) { got = append(got, fire{e, f}) })
+		k.Scan(s, data[split:], split, func(e int, f uint64) { got = append(got, fire{e, f}) })
+		if fmt.Sprint(got) != fmt.Sprint(whole) {
+			t.Fatalf("split %d: fires %v, want %v", split, got, whole)
+		}
+	}
+}
+
+func BenchmarkShiftAnd64Words(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	k := randKernel64(rng, 64)
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	s := uint64(0)
+	for i := 0; i < b.N; i++ {
+		s = k.Scan(s, data, 0, func(int, uint64) {})
+	}
+	_ = s
+}

@@ -1,0 +1,189 @@
+package simdscan
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refEnds is the oracle: every offset in data at which some literal ends,
+// found by brute force, deduplicated and in increasing order.
+func refEnds(data []byte, lits [][]byte) []int {
+	var out []int
+	for i := range data {
+		for _, l := range lits {
+			start := i - len(l) + 1
+			if start >= 0 && bytes.Equal(data[start:i+1], l) {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// teddyEnds scans data through t in chunks of the given sizes (cycled),
+// returning global end offsets.
+func teddyEnds(t *Teddy, data []byte, chunkSizes []int) []int {
+	var out []int
+	var st TeddyState
+	var hist []byte
+	pos := 0
+	ci := 0
+	for pos < len(data) {
+		n := chunkSizes[ci%len(chunkSizes)]
+		ci++
+		if n < 1 {
+			n = 1
+		}
+		if pos+n > len(data) {
+			n = len(data) - pos
+		}
+		chunk := data[pos : pos+n]
+		base := pos
+		st = t.Scan(chunk, hist, st, func(end int) {
+			out = append(out, base+end)
+		})
+		// Maintain maxLen-1 bytes of history like a streaming caller.
+		keep := t.MaxLen() - 1
+		if keep > pos+n {
+			keep = pos + n
+		}
+		hist = append([]byte{}, data[pos+n-keep:pos+n]...)
+		pos += n
+	}
+	return out
+}
+
+func TestTeddyWholeBuffer(t *testing.T) {
+	lits := [][]byte{[]byte("needle"), []byte("nd"), []byte("xyz"), []byte("eedl")}
+	td, err := NewTeddy(lits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("find the needle and the xyzzy needle end")
+	got := teddyEnds(td, data, []int{len(data)})
+	want := refEnds(data, lits)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ends: got %v want %v", got, want)
+	}
+}
+
+func TestTeddyEligibility(t *testing.T) {
+	if _, err := NewTeddy(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := NewTeddy([][]byte{[]byte("a")}); err == nil {
+		t.Error("1-byte literal accepted")
+	}
+	var many [][]byte
+	for i := 0; i < TeddyMaxLiterals+1; i++ {
+		many = append(many, []byte(fmt.Sprintf("lit%02d", i)))
+	}
+	if _, err := NewTeddy(many); err == nil {
+		t.Error("oversized set accepted")
+	}
+	// Duplicates collapse below the cap.
+	if _, err := NewTeddy(append(many[:TeddyMaxLiterals:TeddyMaxLiterals], many[0])); err != nil {
+		t.Errorf("deduplicated set rejected: %v", err)
+	}
+}
+
+func TestTeddyFingerprintLength(t *testing.T) {
+	td, _ := NewTeddy([][]byte{[]byte("ab"), []byte("longer")})
+	if td.Fingerprint() != 2 {
+		t.Errorf("fp = %d, want 2 (shortest literal has 2 bytes)", td.Fingerprint())
+	}
+	td3, _ := NewTeddy([][]byte{[]byte("abc"), []byte("longer")})
+	if td3.Fingerprint() != 3 {
+		t.Errorf("fp = %d, want 3", td3.Fingerprint())
+	}
+}
+
+// TestTeddyChunked holds chunked scans — including 1-byte chunks, which
+// put every literal across a boundary — to the whole-buffer oracle.
+func TestTeddyChunked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lits := [][]byte{[]byte("ab"), []byte("abcd"), []byte("bcda"), []byte("ddd"), []byte("cab")}
+	td, err := NewTeddy(lits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte('a' + rng.Intn(4))
+	}
+	want := refEnds(data, lits)
+	for _, sizes := range [][]int{{1}, {2}, {3, 7}, {64}, {1, 100}, {4096}} {
+		got := teddyEnds(td, data, sizes)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("chunks %v: got %d ends, want %d", sizes, len(got), len(want))
+		}
+	}
+}
+
+// TestTeddyRandomSets cross-checks random literal sets over random inputs
+// against the brute-force oracle, whole-buffer and chunked.
+func TestTeddyRandomSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nl := 1 + rng.Intn(TeddyMaxLiterals)
+		lits := make([][]byte, 0, nl)
+		for i := 0; i < nl; i++ {
+			l := make([]byte, 2+rng.Intn(6))
+			for j := range l {
+				l[j] = byte('a' + rng.Intn(3))
+			}
+			lits = append(lits, l)
+		}
+		td, err := NewTeddy(lits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 100+rng.Intn(900))
+		for i := range data {
+			data[i] = byte('a' + rng.Intn(4))
+		}
+		want := refEnds(data, lits)
+		sizes := []int{1 + rng.Intn(50)}
+		if got := teddyEnds(td, data, sizes); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d (lits %q, chunk %v): got %v want %v", trial, lits, sizes, got, want)
+		}
+	}
+}
+
+func TestTeddyHistoryBound(t *testing.T) {
+	td, _ := NewTeddy([][]byte{[]byte("abcde")})
+	if td.MaxLen() != 5 {
+		t.Fatalf("MaxLen = %d, want 5", td.MaxLen())
+	}
+	// Occurrence split 4+1 across a boundary with exactly MaxLen-1 history.
+	var ends []int
+	st := td.Scan([]byte("abcd"), nil, TeddyState{}, func(int) { t.Fatal("early hit") })
+	td.Scan([]byte("e"), []byte("abcd"), st, func(end int) { ends = append(ends, end) })
+	if len(ends) != 1 || ends[0] != 0 {
+		t.Fatalf("cross-boundary ends = %v, want [0]", ends)
+	}
+}
+
+func BenchmarkTeddy24(b *testing.B) {
+	var lits [][]byte
+	for i := 0; i < 24; i++ {
+		lits = append(lits, []byte(fmt.Sprintf("key%02d", i)))
+	}
+	td, err := NewTeddy(lits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte('i' + rng.Intn(18))
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		td.Scan(data, nil, TeddyState{}, func(int) {})
+	}
+}

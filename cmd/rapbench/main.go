@@ -9,10 +9,11 @@
 //	rapbench -exp sfa                    # data-parallel scan vs serial speedup
 //	rapbench -exp qos                    # noisy-neighbor isolation (per-tenant QoS)
 //	rapbench -exp slo                    # SLO burn-rate control loop (shed vs baseline)
+//	rapbench -exp cluster                # 3-node vs 1-node aggregate scan throughput
 //
 // Experiments: fig1, fig10a, fig10b, table2, table3, fig11, fig12, fig13,
 // table4, ablation, characterize, flows, reconfig, service, scan, compile,
-// sfa, qos, slo, all. The reconfig experiment is beyond-paper: it prices live ruleset
+// sfa, qos, slo, cluster, all. The reconfig experiment is beyond-paper: it prices live ruleset
 // updates (delta bitstream + tile quiesce/reload) against full
 // redeployment; the service experiment benchmarks the serving stack
 // (cache + worker pool) against direct matcher calls; the scan experiment
@@ -28,7 +29,10 @@
 // capacity runs with and without SLO-driven admission, showing the
 // burn-rate controller shedding the heavy tenant until the latency
 // objective's fast burn drops back under its limit while the unshed
-// baseline stays breached.
+// baseline stays breached; the cluster experiment measures capacity
+// scaling — 12 rulesets scanned round-robin against nodes whose
+// program cache holds 4, where one node recompiles on every scan and a
+// 3-node sharded cluster keeps the whole working set compiled.
 //
 // -json DIR additionally writes one BENCH_<exp>.json per experiment —
 // result table plus config, wall time and build identity — so CI can

@@ -1,0 +1,183 @@
+// Command rapcluster runs one node of a sharded, replicated rapserve
+// cluster (see internal/cluster). Every node serves the full /v1 API;
+// clients may point at any of them. Programs are placed on a
+// consistent-hash ring over their content-hash IDs, scans fan out over
+// each program's replica set, streaming sessions stay sticky to the
+// node that opened them, and ruleset updates roll out as canaries
+// watched by the burn-rate SLO engine.
+//
+//	# a three-node local cluster
+//	rapcluster -id n1 -addr :8851 -seeds http://localhost:8852,http://localhost:8853
+//	rapcluster -id n2 -addr :8852 -seeds http://localhost:8851,http://localhost:8853
+//	rapcluster -id n3 -addr :8853 -seeds http://localhost:8851,http://localhost:8852
+//
+//	# talk to any node; the cluster routes
+//	curl -s localhost:8852/v1/programs -d '{"patterns":["cat","dog"]}'
+//	curl -s localhost:8851/v1/programs/$ID/scan --data-binary @input.bin
+//	# canary rollout: staged on a replica fraction, then promoted or
+//	# rolled back on burn-rate/health breach
+//	curl -s -X PUT localhost:8853/v1/programs/$ID -d '{"patterns":["bird"]}'
+//	# cluster view: membership states, ring, catalog digests
+//	curl -s localhost:8851/cluster/members
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/qos"
+	"repro/internal/service"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	id := flag.String("id", "", "cluster-unique node name (required)")
+	addr := flag.String("addr", ":8851", "listen address")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at (default http://<host>:<port> from -addr)")
+	seeds := flag.String("seeds", "", "comma-separated peer base URLs to bootstrap gossip")
+	replicas := flag.Int("replicas", 2, "placement width per program (owner + replicas)")
+	maxReplicas := flag.Int("max-replicas", 0, "hot-program fan-out cap (0 = replicas+1)")
+	hotRate := flag.Float64("hot-scan-rate", 200, "routed scans/sec beyond which a program's replica set widens (<0 disables)")
+	gossipEvery := flag.Duration("gossip-interval", time.Second, "gossip/reconcile tick")
+	canaryFraction := flag.Float64("canary-fraction", 0.34, "replica fraction staged first on ruleset updates (<=0 applies directly)")
+	canaryObserve := flag.Duration("canary-observe", 15*time.Second, "how long canaries are watched before promote/rollback")
+	canaryMinHealth := flag.Float64("canary-min-health", 0.35, "health score below which a canary rolls back")
+	workers := flag.Int("workers", 0, "scan worker count (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "bounded queue depth per worker (full queue -> 429)")
+	cacheSize := flag.Int("cache", 128, "compiled-program LRU capacity")
+	maxSessions := flag.Int("max-sessions", 4096, "open streaming session cap")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	tenantHeader := flag.String("tenant-header", "", "tenant identity header (default "+qos.DefaultHeader+")")
+	qosConfig := flag.String("qos-config", "", "JSON per-tenant limits file")
+	sloConfig := flag.String("slo-config", "", "JSON SLO objectives file")
+	flag.Parse()
+
+	if *id == "" {
+		fatal(fmt.Errorf("-id is required (a cluster-unique node name)"))
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stdout, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stdout, nil)
+	default:
+		fatal(fmt.Errorf("unknown -log format %q (want text or json)", *logFormat))
+	}
+	logger := slog.New(handler)
+
+	qosCfg := qos.Config{Header: *tenantHeader}
+	if *qosConfig != "" {
+		loaded, err := qos.LoadFile(*qosConfig)
+		if err != nil {
+			fatal(err)
+		}
+		if *tenantHeader != "" {
+			loaded.Header = *tenantHeader
+		}
+		qosCfg = loaded
+	}
+	sloCfg := slo.Config{}
+	if *sloConfig != "" {
+		loaded, err := slo.LoadFile(*sloConfig)
+		if err != nil {
+			fatal(err)
+		}
+		sloCfg = loaded
+	}
+
+	var seedList []string
+	for _, s := range strings.Split(*seeds, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seedList = append(seedList, strings.TrimRight(s, "/"))
+		}
+	}
+
+	node, err := cluster.NewNode(cluster.Config{
+		ID:             *id,
+		Seeds:          seedList,
+		Replicas:       *replicas,
+		MaxReplicas:    *maxReplicas,
+		HotScanRate:    *hotRate,
+		GossipInterval: *gossipEvery,
+		Canary: cluster.CanaryConfig{
+			Fraction:  *canaryFraction,
+			Observe:   *canaryObserve,
+			MinHealth: *canaryMinHealth,
+		},
+		Service: service.Config{
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			ProgramCacheSize: *cacheSize,
+			MaxSessions:      *maxSessions,
+			Logger:           logger,
+			QoS:              qosCfg,
+			SLO:              sloCfg,
+		},
+		Logger: logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+	telemetry.RegisterRuntimeMetrics(node.Service().Telemetry())
+
+	adv := *advertise
+	if adv == "" {
+		host, port, err := net.SplitHostPort(*addr)
+		if err != nil {
+			fatal(fmt.Errorf("-addr %q: %w (set -advertise explicitly)", *addr, err))
+		}
+		if host == "" || host == "0.0.0.0" || host == "::" {
+			host = "localhost"
+		}
+		adv = "http://" + net.JoinHostPort(host, port)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           node.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	node.Start(adv)
+	logger.Info("cluster node listening", "id", *id, "addr", *addr, "advertise", adv,
+		"seeds", len(seedList), "replicas", *replicas,
+		"go_version", telemetry.Build().GoVersion, "revision", telemetry.Build().Revision)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		logger.Info("draining", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+		// Peers notice the silence and age this node out suspect->dead;
+		// local streaming sessions flush their end-anchored matches.
+		drained := node.Service().DrainSessions()
+		logger.Info("drained", "sessions", len(drained))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapcluster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,497 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+	"repro/pkg/rapclient"
+)
+
+// ForwardedHeader marks a request already routed by a peer. A node
+// receiving it always serves locally — one hop maximum, no loops even
+// under transient ring disagreement.
+const ForwardedHeader = "X-RAP-Forwarded"
+
+// CanaryConfig tunes the staged-rollout policy for ruleset updates.
+type CanaryConfig struct {
+	// Fraction of a program's replicas staged first; default 0.34
+	// (one canary at the default 3-replica fan-out). <= 0 disables
+	// canarying: updates apply to all replicas directly.
+	Fraction float64
+	// Observe is how long staged canaries are watched before the
+	// promote/rollback decision; default 2s.
+	Observe time.Duration
+	// Poll is the stats-sampling interval inside the window; default
+	// Observe/4.
+	Poll time.Duration
+	// MinHealth fails the canary when a staged node's health score
+	// drops below it; default 0.35 (the slo critical threshold).
+	MinHealth float64
+	// Check, when set, runs against every canary stats sample after
+	// the built-in burn-rate and health checks. Returning an error
+	// fails the canary. This is the seam fault-injection tests use.
+	Check func(nodeID string, st *rapclient.Stats) error
+}
+
+// Config configures one cluster node.
+type Config struct {
+	// ID is the node's cluster-unique name (required).
+	ID string
+	// Seeds are peer base URLs used to bootstrap gossip.
+	Seeds []string
+	// Replicas is the default placement width for new programs;
+	// default 2 (owner + one replica), clamped to the cluster size at
+	// placement time.
+	Replicas int
+	// MaxReplicas caps hot-program fan-out; default Replicas+1.
+	MaxReplicas int
+	// HotScanRate is the routed scans/second on one program beyond
+	// which a node widens its replica set; default 200. <= 0 disables
+	// fan-out.
+	HotScanRate float64
+	// VNodes is the consistent-hash virtual-node count per member;
+	// default DefaultVNodes.
+	VNodes int
+	// GossipInterval is the announce/reconcile tick; default 1s.
+	GossipInterval time.Duration
+	// SuspectAfter/DeadAfter age members out of routing and then out
+	// of the ring; defaults 3× and 10× GossipInterval.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Canary tunes staged rollouts.
+	Canary CanaryConfig
+	// Service is the embedded single-node service configuration.
+	Service service.Config
+	// Logger receives cluster-layer events (membership transitions,
+	// repairs, rollouts). nil disables.
+	Logger *slog.Logger
+}
+
+func (c *Config) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.MaxReplicas < c.Replicas {
+		c.MaxReplicas = c.Replicas + 1
+	}
+	if c.HotScanRate == 0 {
+		c.HotScanRate = 200
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.GossipInterval
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * c.GossipInterval
+	}
+	if c.Canary.Fraction == 0 {
+		c.Canary.Fraction = 0.34
+	}
+	if c.Canary.Observe <= 0 {
+		c.Canary.Observe = 2 * time.Second
+	}
+	if c.Canary.Poll <= 0 {
+		c.Canary.Poll = c.Canary.Observe / 4
+	}
+	if c.Canary.MinHealth == 0 {
+		c.Canary.MinHealth = 0.35
+	}
+}
+
+// Node is one member of a rapserve cluster: a full single-node service
+// plus the membership, placement, catalog, proxy and rollout layers.
+type Node struct {
+	cfg     Config
+	svc     *service.Service
+	ring    *Ring
+	members *Membership
+	catalog *Catalog
+	handler http.Handler
+	hc      *http.Client
+	log     *slog.Logger
+
+	addr atomic.Value // string; advertised base URL, set by Start
+	seq  atomic.Uint64
+	rr   atomic.Uint64 // round-robin cursor for replica scan fan-out
+
+	// routedScans counts proxy-level scan routings per program; the
+	// reconciler turns deltas into rates for hot-program fan-out.
+	routedMu    sync.Mutex
+	routedScans map[string]int64
+	lastTick    time.Time
+	lastRate    atomic.Value // float64; node-level routed scans/sec
+
+	// applied maps program ID → the cluster-level catalog generation
+	// this node's local copy matches, so reconciliation can tell a
+	// replica that slept through a promote from one that is current.
+	appliedMu sync.Mutex
+	applied   map[string]int64
+
+	forwards  *metrics.Counter
+	repairs   *metrics.Counter
+	gossips   *metrics.Counter
+	canaryOut map[string]*metrics.Counter // by RolloutResult outcome
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	started   atomic.Bool
+	closeOnce sync.Once
+}
+
+// NewNode builds a node (service included) but does not start gossip;
+// call Start once the advertised address is known.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("cluster: Config.ID is required")
+	}
+	cfg.fill()
+	n := &Node{
+		cfg:         cfg,
+		svc:         service.New(cfg.Service),
+		ring:        NewRing(cfg.VNodes),
+		members:     NewMembership(cfg.ID, cfg.SuspectAfter, cfg.DeadAfter),
+		catalog:     NewCatalog(),
+		hc:          &http.Client{Timeout: 30 * time.Second},
+		log:         cfg.Logger,
+		routedScans: map[string]int64{},
+		applied:     map[string]int64{},
+		stop:        make(chan struct{}),
+	}
+	if n.log == nil {
+		n.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+	}
+	n.addr.Store("")
+	n.lastRate.Store(float64(0))
+	n.ring.Add(cfg.ID)
+	n.handler = n.buildMux()
+
+	tel := n.svc.Telemetry()
+	n.forwards = tel.Counter("rap_node_forwards_total", "Requests forwarded to a peer node.")
+	n.repairs = tel.Counter("rap_node_repairs_total", "Programs lazily compiled from catalog meta after a routed scan missed the local cache.")
+	n.gossips = tel.Counter("rap_node_gossip_total", "Gossip exchanges initiated.")
+	n.canaryOut = map[string]*metrics.Counter{}
+	for _, outcome := range []string{OutcomePromoted, OutcomeRolledBack, OutcomeApplied} {
+		n.canaryOut[outcome] = tel.Counter("rap_node_canary_rollouts_total",
+			"Ruleset rollouts by outcome.", telemetry.L("outcome", outcome))
+	}
+	tel.GaugeFunc("rap_node_members", "Known cluster members (all states).", func() float64 {
+		return float64(len(n.members.View()))
+	})
+	tel.GaugeFunc("rap_node_ring_size", "Members currently on the placement ring.", func() float64 {
+		return float64(n.ring.Size())
+	})
+	tel.GaugeFunc("rap_node_catalog_programs", "Programs in the gossiped catalog.", func() float64 {
+		return float64(n.catalog.Len())
+	})
+	tel.GaugeFunc("rap_node_routed_scan_rate", "Proxy-level routed scans/sec through this node.", func() float64 {
+		return n.lastRate.Load().(float64)
+	})
+	return n, nil
+}
+
+// Service exposes the embedded single-node service.
+func (n *Node) Service() *service.Service { return n.svc }
+
+// Ring exposes the placement ring (read-mostly; tests inspect it).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Catalog exposes the gossiped program directory.
+func (n *Node) Catalog() *Catalog { return n.catalog }
+
+// Members exposes the membership table.
+func (n *Node) Members() *Membership { return n.members }
+
+// Handler returns the node's full HTTP surface: the partition-aware
+// /v1 proxy, the /cluster control endpoints, and everything the
+// embedded service serves (/metrics, /healthz, /debug/...).
+func (n *Node) Handler() http.Handler { return n.handler }
+
+// Addr returns the advertised base URL ("" before Start).
+func (n *Node) Addr() string { return n.addr.Load().(string) }
+
+// ID returns the node's cluster name.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Start records the advertised base URL and launches the gossip and
+// reconcile loop. It is idempotent.
+func (n *Node) Start(addr string) {
+	n.addr.Store(addr)
+	n.members.Merge([]MemberInfo{n.localInfo()}, time.Now())
+	if !n.started.CompareAndSwap(false, true) {
+		return
+	}
+	n.lastTick = time.Now()
+	n.wg.Add(1)
+	go n.run()
+}
+
+// Close stops the loops and shuts the embedded service down.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+	})
+	n.wg.Wait()
+	n.svc.Close()
+}
+
+// localInfo snapshots this node's announcement.
+func (n *Node) localInfo() MemberInfo {
+	st := n.svc.Stats()
+	return MemberInfo{
+		ID:         n.cfg.ID,
+		Addr:       n.Addr(),
+		Seq:        n.seq.Add(1),
+		Health:     st.Health.Score,
+		QueueDepth: st.Pool.QueueDepth,
+		ScanRate:   n.lastRate.Load().(float64),
+		Programs:   n.catalog.Digests(),
+	}
+}
+
+func (n *Node) run() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.tick()
+		}
+	}
+}
+
+// tick is one gossip/reconcile round: re-announce, exchange views with
+// one peer, age members, sync the ring, widen hot programs, and warm
+// any program this node is now a placement target for.
+func (n *Node) tick() {
+	now := time.Now()
+	n.members.Merge([]MemberInfo{n.localInfo()}, now)
+	n.gossipOnce()
+	for _, id := range n.members.Prune(time.Now()) {
+		n.ring.Remove(id)
+		n.log.Info("cluster member dead", "node", id)
+	}
+	for _, m := range n.members.View() {
+		n.ring.Add(m.ID)
+	}
+	n.updateScanRates(now)
+	n.reconcilePrograms()
+}
+
+// gossipTargets returns candidate peer addresses: seeds plus every
+// known member, minus self.
+func (n *Node) gossipTargets() []string {
+	self := n.Addr()
+	seen := map[string]struct{}{}
+	var out []string
+	add := func(addr string) {
+		if addr == "" || addr == self {
+			return
+		}
+		if _, dup := seen[addr]; dup {
+			return
+		}
+		seen[addr] = struct{}{}
+		out = append(out, addr)
+	}
+	for _, s := range n.cfg.Seeds {
+		add(s)
+	}
+	for _, m := range n.members.View() {
+		add(m.Addr)
+	}
+	return out
+}
+
+type gossipRequest struct {
+	From string       `json:"from"`
+	View []MemberInfo `json:"view"`
+}
+
+type gossipResponse struct {
+	View []MemberInfo `json:"view"`
+}
+
+// gossipOnce pushes the local view to one peer (round-robin over the
+// candidate list) and merges whatever it knows back.
+func (n *Node) gossipOnce() {
+	targets := n.gossipTargets()
+	if len(targets) == 0 {
+		return
+	}
+	addr := targets[int(n.gossips.Value())%len(targets)]
+	n.gossips.Inc()
+	body, _ := json.Marshal(gossipRequest{From: n.cfg.ID, View: n.members.Infos()})
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.GossipInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/cluster/gossip", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var reply gossipResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&reply); err != nil {
+		return
+	}
+	n.absorb(reply.View)
+}
+
+// absorb merges a remote view: membership first, then any program
+// digests the local catalog is stale on (fetched from the announcer).
+func (n *Node) absorb(view []MemberInfo) {
+	n.members.Merge(view, time.Now())
+	for _, m := range view {
+		if m.ID == n.cfg.ID || m.Addr == "" {
+			continue
+		}
+		for _, d := range m.Programs {
+			if n.catalog.Stale(d) {
+				n.fetchProgram(m.Addr, d.ID)
+			}
+		}
+	}
+}
+
+// fetchProgram pulls full program meta from a peer (fetch-on-stale).
+func (n *Node) fetchProgram(addr, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.GossipInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/cluster/programs/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var meta ProgramMeta
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&meta); err != nil {
+		return
+	}
+	if meta.ID != id {
+		return
+	}
+	n.catalog.Put(meta)
+}
+
+// updateScanRates converts routed-scan deltas into per-program and
+// node-level rates, widening the replica set of programs running hot.
+func (n *Node) updateScanRates(now time.Time) {
+	n.routedMu.Lock()
+	dt := now.Sub(n.lastTick).Seconds()
+	n.lastTick = now
+	counts := n.routedScans
+	n.routedScans = map[string]int64{}
+	n.routedMu.Unlock()
+	if dt <= 0 {
+		return
+	}
+	var total float64
+	for id, c := range counts {
+		rate := float64(c) / dt
+		total += rate
+		n.catalog.SetScanRate(id, rate)
+		if n.cfg.HotScanRate > 0 && rate > n.cfg.HotScanRate {
+			if meta, ok := n.catalog.Get(id); ok && meta.Replicas < n.cfg.MaxReplicas {
+				n.catalog.SetReplicas(id, meta.Replicas+1)
+				n.log.Info("hot program fan-out", "program", id, "rate", rate, "replicas", meta.Replicas+1)
+			}
+		}
+	}
+	n.lastRate.Store(total)
+}
+
+// reconcilePrograms pre-warms the local cache for every catalog program
+// this node is a placement target of, so routed scans land on a
+// compiled program instead of paying the repair on the request path. It
+// also catches generation skew: a replica that was down during a
+// promote hot-swaps to the live ruleset here.
+func (n *Node) reconcilePrograms() {
+	for _, meta := range n.catalog.List() {
+		if !n.inPlacement(meta.ID, meta.Replicas) {
+			continue
+		}
+		if _, ok := n.svc.Program(meta.ID); ok && n.appliedGen(meta.ID) >= meta.Generation {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := n.ensureLocal(ctx, meta)
+		cancel()
+		if err != nil {
+			n.log.Warn("replica warm failed", "program", meta.ID, "err", err)
+		}
+	}
+}
+
+// ensureLocal materializes a catalog program on this node: compile the
+// ID-defining original ruleset (claiming the content-hash ID), then
+// hot-swap to the live ruleset through the RAPD delta path when the
+// cluster generation has moved past what this node last applied.
+func (n *Node) ensureLocal(ctx context.Context, meta ProgramMeta) error {
+	if _, ok := n.svc.Program(meta.ID); !ok {
+		if _, _, err := n.svc.Compile(ctx, meta.Patterns, meta.Options); err != nil {
+			return err
+		}
+		n.setApplied(meta.ID, 0)
+	}
+	if meta.LivePatterns != nil && n.appliedGen(meta.ID) < meta.Generation {
+		if _, err := n.svc.Update(ctx, meta.ID, meta.LivePatterns, meta.LiveOptions); err != nil {
+			return err
+		}
+		n.setApplied(meta.ID, meta.Generation)
+	}
+	return nil
+}
+
+func (n *Node) setApplied(id string, gen int64) {
+	n.appliedMu.Lock()
+	n.applied[id] = gen
+	n.appliedMu.Unlock()
+}
+
+func (n *Node) appliedGen(id string) int64 {
+	n.appliedMu.Lock()
+	defer n.appliedMu.Unlock()
+	return n.applied[id]
+}
+
+// inPlacement reports whether this node is in the first `replicas`
+// placement slots for key.
+func (n *Node) inPlacement(key string, replicas int) bool {
+	for _, id := range n.ring.Placement(key, replicas) {
+		if id == n.cfg.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// noteRoutedScan feeds the hot-program detector.
+func (n *Node) noteRoutedScan(id string) {
+	n.routedMu.Lock()
+	n.routedScans[id]++
+	n.routedMu.Unlock()
+}

@@ -1,0 +1,456 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// maxProxyBody bounds what the proxy buffers for routed requests.
+// The embedded service reads request bodies fully anyway, so buffering
+// here changes where the copy lives, not whether it happens.
+const maxProxyBody = 256 << 20
+
+// buildMux assembles the node's HTTP surface: explicit handlers for the
+// routed /v1 endpoints and the /cluster control plane, with everything
+// else (stats, health, metrics, debug, legacy aliases) served by the
+// embedded single-node service.
+func (n *Node) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/programs", n.handleCompile)
+	mux.HandleFunc("PUT /v1/programs/{id}", n.handleUpdate)
+	mux.HandleFunc("POST /v1/programs/{id}/scan", n.handleScan)
+	mux.HandleFunc("POST /v1/sessions", n.handleOpenSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/data", n.handleFeed)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", n.handleCloseSession)
+	mux.HandleFunc("POST /cluster/gossip", n.handleGossip)
+	mux.HandleFunc("GET /cluster/programs/{id}", n.handleProgramMeta)
+	mux.HandleFunc("GET /cluster/members", n.handleMembers)
+	mux.HandleFunc("/", n.serveLocal)
+	return mux
+}
+
+// proxyResp is a buffered upstream (or local) response.
+type proxyResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func proxyError(status int, format string, args ...any) *proxyResp {
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	return &proxyResp{status: status, header: h, body: body}
+}
+
+func writeProxyResp(w http.ResponseWriter, resp *proxyResp) {
+	for k, vs := range resp.header {
+		// Content-Length is recomputed: rewrites may have changed the body.
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// capture is an in-memory http.ResponseWriter for serving the local
+// handler chain on behalf of the proxy.
+type capture struct {
+	h      http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func newCapture() *capture { return &capture{h: make(http.Header), status: http.StatusOK} }
+
+func (c *capture) Header() http.Header         { return c.h }
+func (c *capture) WriteHeader(status int)      { c.status = status }
+func (c *capture) Write(p []byte) (int, error) { return c.buf.Write(p) }
+func (c *capture) resp() *proxyResp {
+	return &proxyResp{status: c.status, header: c.h, body: c.buf.Bytes()}
+}
+
+// forwarded reports whether a peer already routed this request.
+func forwarded(r *http.Request) bool { return r.Header.Get(ForwardedHeader) != "" }
+
+// serveLocal hands a request to the embedded service unmodified. It is
+// the mux fallback and the terminal hop for forwarded requests.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request) {
+	n.svc.Handler().ServeHTTP(w, r)
+}
+
+// localRoundTrip serves a synthesized request against the local service
+// and captures the response.
+func (n *Node) localRoundTrip(ctx context.Context, method, path string, hdr http.Header, body []byte) *proxyResp {
+	req, err := http.NewRequestWithContext(ctx, method, path, bytes.NewReader(body))
+	if err != nil {
+		return proxyError(http.StatusInternalServerError, "cluster: build local request: %v", err)
+	}
+	if hdr != nil {
+		req.Header = hdr.Clone()
+	}
+	req.Header.Set(ForwardedHeader, n.cfg.ID)
+	cw := newCapture()
+	n.svc.Handler().ServeHTTP(cw, req)
+	return cw.resp()
+}
+
+// roundTrip routes one buffered request to target: served locally when
+// target is this node, otherwise forwarded one hop (the ForwardedHeader
+// makes the peer serve it locally, so routing disagreement can never
+// loop). Scan paths get the repair-aware local path.
+func (n *Node) roundTrip(ctx context.Context, targetID, method, path string, hdr http.Header, body []byte) *proxyResp {
+	if targetID == n.cfg.ID {
+		if id, ok := scanPathID(path); ok {
+			return n.scanLocal(ctx, hdr, id, body)
+		}
+		return n.localRoundTrip(ctx, method, path, hdr, body)
+	}
+	m, ok := n.members.Get(targetID)
+	if !ok || m.Addr == "" {
+		return proxyError(http.StatusBadGateway, "cluster: no address for node %s", targetID)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, m.Addr+path, bytes.NewReader(body))
+	if err != nil {
+		return proxyError(http.StatusInternalServerError, "cluster: build forward request: %v", err)
+	}
+	req.Header = hdr.Clone()
+	req.Header.Set(ForwardedHeader, n.cfg.ID)
+	n.forwards.Inc()
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return proxyError(http.StatusBadGateway, "cluster: forward to %s: %v", targetID, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return proxyError(http.StatusBadGateway, "cluster: read from %s: %v", targetID, err)
+	}
+	return &proxyResp{status: resp.StatusCode, header: resp.Header, body: respBody}
+}
+
+// scanPathID extracts the program ID from a /v1 scan path.
+func scanPathID(path string) (string, bool) {
+	rest, ok := strings.CutPrefix(path, "/v1/programs/")
+	if !ok {
+		return "", false
+	}
+	id, ok := strings.CutSuffix(rest, "/scan")
+	if !ok || id == "" || strings.Contains(id, "/") {
+		return "", false
+	}
+	return id, true
+}
+
+// scanLocal serves a scan against the local service, lazily repairing a
+// missing program from gossiped catalog meta: compile the ID-defining
+// original, hot-swap to the live ruleset, then replay the scan. This is
+// what makes short-lived placement skew harmless — a scan routed to a
+// replica that has not warmed yet costs one compile, not an error.
+func (n *Node) scanLocal(ctx context.Context, hdr http.Header, id string, body []byte) *proxyResp {
+	path := "/v1/programs/" + id + "/scan"
+	resp := n.localRoundTrip(ctx, http.MethodPost, path, hdr, body)
+	if resp.status != http.StatusNotFound {
+		return resp
+	}
+	meta, ok := n.catalog.Get(id)
+	if !ok {
+		return resp
+	}
+	if err := n.ensureLocal(ctx, meta); err != nil {
+		n.log.Warn("scan repair failed", "program", id, "err", err)
+		return resp
+	}
+	n.repairs.Inc()
+	return n.localRoundTrip(ctx, http.MethodPost, path, hdr, body)
+}
+
+// readBody buffers a routed request's body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
+	if err != nil {
+		writeProxyResp(w, proxyError(http.StatusBadRequest, "cluster: read request body: %v", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// handleCompile routes POST /v1/programs to the program's ring owner.
+// The content-hash ID is derived from the request body BEFORE compiling
+// (service.ProgramKey), so placement needs no directory lookup and
+// every node routes identically.
+func (n *Node) handleCompile(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Patterns []string               `json:"patterns"`
+		Options  service.CompileOptions `json:"options"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		// Malformed JSON: let the service produce its own diagnostics.
+		writeProxyResp(w, n.localRoundTrip(r.Context(), http.MethodPost, "/v1/programs", r.Header, body))
+		return
+	}
+	id := service.ProgramKey(req.Patterns, req.Options)
+	target := n.cfg.ID
+	if !forwarded(r) {
+		target = n.routeOwner(id)
+	}
+	resp := n.roundTrip(r.Context(), target, http.MethodPost, "/v1/programs", r.Header, body)
+	if resp.status < 300 {
+		n.catalog.Put(ProgramMeta{
+			ID:       id,
+			Patterns: req.Patterns,
+			Options:  req.Options,
+			Replicas: n.cfg.Replicas,
+		})
+	}
+	writeProxyResp(w, resp)
+}
+
+// handleScan fans POST /v1/programs/{id}/scan out over the program's
+// live replicas round-robin, falling through 404/unreachable replicas
+// and finally repairing locally from catalog meta.
+func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if forwarded(r) {
+		writeProxyResp(w, n.scanLocal(r.Context(), r.Header, id, body))
+		return
+	}
+	n.noteRoutedScan(id)
+	var resp *proxyResp
+	for _, target := range n.scanTargets(id) {
+		resp = n.roundTrip(r.Context(), target, http.MethodPost, "/v1/programs/"+id+"/scan", r.Header, body)
+		if resp.status != http.StatusNotFound && resp.status != http.StatusBadGateway {
+			writeProxyResp(w, resp)
+			return
+		}
+	}
+	// Every replica missed or was unreachable: last resort is the
+	// repair-aware local path.
+	local := n.scanLocal(r.Context(), r.Header, id, body)
+	if local.status == http.StatusNotFound && resp != nil && resp.status != http.StatusNotFound {
+		// Keep the more informative upstream error over a local 404.
+		local = resp
+	}
+	writeProxyResp(w, local)
+}
+
+// scanTargets returns the live replica set for id, rotated round-robin
+// so consecutive scans through this gateway spread across replicas.
+func (n *Node) scanTargets(id string) []string {
+	replicas := n.cfg.Replicas
+	if meta, ok := n.catalog.Get(id); ok && meta.Replicas > replicas {
+		replicas = meta.Replicas
+	}
+	placement := n.ring.Placement(id, replicas)
+	alive := placement[:0:0]
+	for _, p := range placement {
+		if n.members.Alive(p) {
+			alive = append(alive, p)
+		}
+	}
+	if len(alive) == 0 {
+		return []string{n.cfg.ID}
+	}
+	start := int(n.rr.Add(1)) % len(alive)
+	out := make([]string, 0, len(alive))
+	for i := 0; i < len(alive); i++ {
+		out = append(out, alive[(start+i)%len(alive)])
+	}
+	return out
+}
+
+// routeOwner returns the first live placement slot for key (self when
+// the ring has no live candidates).
+func (n *Node) routeOwner(key string) string {
+	for _, id := range n.ring.Placement(key, n.ring.Size()) {
+		if n.members.Alive(id) {
+			return id
+		}
+	}
+	return n.cfg.ID
+}
+
+// Cluster session IDs are "node~localSID": the owning node is encoded
+// in the ID itself, so feed/close routing is a string split — sticky to
+// the node holding the stream state no matter how the ring moves.
+const sessionSep = "~"
+
+func clusterSessionID(node, local string) string { return node + sessionSep + local }
+
+func splitSessionID(sid string) (node, local string, ok bool) {
+	node, local, ok = strings.Cut(sid, sessionSep)
+	if !ok || node == "" || local == "" {
+		return "", "", false
+	}
+	return node, local, true
+}
+
+// handleOpenSession places a new stream on the least-loaded live
+// replica of its program and returns a cluster-qualified session ID.
+func (n *Node) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if forwarded(r) {
+		writeProxyResp(w, n.localRoundTrip(r.Context(), http.MethodPost, "/v1/sessions", r.Header, body))
+		return
+	}
+	var req struct {
+		ProgramID string `json:"program_id"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.ProgramID == "" {
+		writeProxyResp(w, n.localRoundTrip(r.Context(), http.MethodPost, "/v1/sessions", r.Header, body))
+		return
+	}
+	target := n.sessionTarget(req.ProgramID)
+	resp := n.roundTrip(r.Context(), target, http.MethodPost, "/v1/sessions", r.Header, body)
+	if resp.status == http.StatusNotFound && target != n.cfg.ID {
+		// The chosen replica has not warmed yet; open locally instead
+		// (the repair path materializes the program here).
+		if meta, ok := n.catalog.Get(req.ProgramID); ok {
+			if err := n.ensureLocal(r.Context(), meta); err == nil {
+				n.repairs.Inc()
+				target = n.cfg.ID
+				resp = n.roundTrip(r.Context(), target, http.MethodPost, "/v1/sessions", r.Header, body)
+			}
+		}
+	}
+	if resp.status < 300 {
+		var open struct {
+			SessionID string `json:"session_id"`
+		}
+		if err := json.Unmarshal(resp.body, &open); err == nil && open.SessionID != "" {
+			open.SessionID = clusterSessionID(target, open.SessionID)
+			resp.body, _ = json.Marshal(open)
+		}
+	}
+	writeProxyResp(w, resp)
+}
+
+// sessionTarget picks the live replica with the smallest announced
+// queue depth (self wins ties) for a new stream.
+func (n *Node) sessionTarget(programID string) string {
+	replicas := n.cfg.Replicas
+	if meta, ok := n.catalog.Get(programID); ok && meta.Replicas > replicas {
+		replicas = meta.Replicas
+	}
+	best := n.cfg.ID
+	bestDepth := int64(1<<62 - 1)
+	if m, ok := n.members.Get(n.cfg.ID); ok {
+		bestDepth = m.QueueDepth
+	}
+	found := false
+	for _, id := range n.ring.Placement(programID, replicas) {
+		if !n.members.Alive(id) {
+			continue
+		}
+		m, ok := n.members.Get(id)
+		if !ok {
+			continue
+		}
+		if !found || m.QueueDepth < bestDepth || (m.QueueDepth == bestDepth && id == n.cfg.ID) {
+			best, bestDepth, found = id, m.QueueDepth, true
+		}
+	}
+	return best
+}
+
+// handleFeed routes a chunk to the node encoded in the session ID.
+func (n *Node) handleFeed(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("id")
+	node, local, ok := splitSessionID(sid)
+	if forwarded(r) || !ok {
+		n.serveLocal(w, r)
+		return
+	}
+	body, okBody := readBody(w, r)
+	if !okBody {
+		return
+	}
+	resp := n.roundTrip(r.Context(), node, http.MethodPost, "/v1/sessions/"+local+"/data", r.Header, body)
+	if resp.status == http.StatusBadGateway && !n.members.Alive(node) {
+		resp = proxyError(http.StatusNotFound, "session %s: node %s has left the cluster", sid, node)
+	}
+	writeProxyResp(w, resp)
+}
+
+// handleCloseSession routes DELETE to the session's node and rewrites
+// the summary's session ID back to the cluster-qualified form.
+func (n *Node) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("id")
+	node, local, ok := splitSessionID(sid)
+	if forwarded(r) || !ok {
+		n.serveLocal(w, r)
+		return
+	}
+	resp := n.roundTrip(r.Context(), node, http.MethodDelete, "/v1/sessions/"+local, r.Header, nil)
+	if resp.status == http.StatusBadGateway && !n.members.Alive(node) {
+		resp = proxyError(http.StatusNotFound, "session %s: node %s has left the cluster", sid, node)
+	} else if resp.status < 300 {
+		var out map[string]any
+		if err := json.Unmarshal(resp.body, &out); err == nil {
+			if summary, ok := out["summary"].(map[string]any); ok {
+				summary["session_id"] = sid
+				if patched, err := json.Marshal(out); err == nil {
+					resp.body = patched
+				}
+			}
+		}
+	}
+	writeProxyResp(w, resp)
+}
+
+// handleGossip merges a peer's pushed view and replies with ours.
+func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var req gossipRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		writeProxyResp(w, proxyError(http.StatusBadRequest, "cluster: decode gossip: %v", err))
+		return
+	}
+	n.absorb(req.View)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(gossipResponse{View: n.members.Infos()})
+}
+
+// handleProgramMeta serves full program meta (the fetch-on-stale target).
+func (n *Node) handleProgramMeta(w http.ResponseWriter, r *http.Request) {
+	meta, ok := n.catalog.Get(r.PathValue("id"))
+	if !ok {
+		writeProxyResp(w, proxyError(http.StatusNotFound, "unknown program"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(meta)
+}
+
+// handleMembers is the cluster debug view: membership, ring, catalog.
+func (n *Node) handleMembers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"self":    n.cfg.ID,
+		"addr":    n.Addr(),
+		"members": n.members.View(),
+		"ring":    n.ring.Members(),
+		"catalog": n.catalog.Digests(),
+	})
+}

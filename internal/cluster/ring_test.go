@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%08x-program", i*2654435761)
+	}
+	return keys
+}
+
+func owners(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.Owner(k)
+	}
+	return out
+}
+
+// TestRingDeterminism: placement is a pure function of the member set —
+// two rings built in different orders agree on every key.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"n4", "n2", "n1", "n3"} {
+		b.Add(n)
+	}
+	for _, k := range ringKeys(500) {
+		pa := a.Placement(k, 3)
+		pb := b.Placement(k, 3)
+		if len(pa) != 3 || len(pb) != 3 {
+			t.Fatalf("placement width: %v vs %v", pa, pb)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("key %s: placement %v vs %v", k, pa, pb)
+			}
+		}
+	}
+}
+
+// TestRingDistribution: virtual nodes keep per-member ownership within
+// a loose factor of uniform.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(5000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	want := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < want/2 || counts[n] > want*2 {
+			t.Errorf("node %s owns %d keys, want within [%d, %d]", n, counts[n], want/2, want*2)
+		}
+	}
+}
+
+// TestRingBoundedMovementOnAdd pins the rebalance property the ISSUE
+// names: adding a node moves at most ceil(K/N)+slack placements, where
+// N is the cluster size after the add — everything else stays put.
+func TestRingBoundedMovementOnAdd(t *testing.T) {
+	const K = 2000
+	keys := ringKeys(K)
+	r := NewRing(0)
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := owners(r, keys)
+
+	r.Add("n5")
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != "n5" {
+				// Consistent hashing: a key may only move TO the new
+				// node; movement between old nodes means the hash
+				// space shifted, which would defeat the cache.
+				t.Fatalf("key %s moved %s -> %s, not to the new node", k, before[k], after[k])
+			}
+		}
+	}
+	// Expected movement is ~K/N with N=5; vnode variance gets slack of
+	// half the quota on top of the ceil(K/N) bound.
+	bound := (K+4)/5 + K/10
+	if moved > bound {
+		t.Errorf("add moved %d/%d placements, bound %d", moved, K, bound)
+	}
+	if moved == 0 {
+		t.Error("add moved nothing; new node owns no keys")
+	}
+}
+
+// TestRingBoundedMovementOnRemove: removing a node remaps exactly the
+// keys it owned; every other key's owner is untouched.
+func TestRingBoundedMovementOnRemove(t *testing.T) {
+	const K = 2000
+	keys := ringKeys(K)
+	r := NewRing(0)
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := owners(r, keys)
+	victimOwned := 0
+	for _, k := range keys {
+		if before[k] == "n3" {
+			victimOwned++
+		}
+	}
+
+	r.Remove("n3")
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if before[k] != "n3" {
+				t.Fatalf("key %s owned by %s moved despite n3 leaving", k, before[k])
+			}
+		}
+	}
+	if moved != victimOwned {
+		t.Errorf("remove moved %d placements, want exactly the %d keys n3 owned", moved, victimOwned)
+	}
+}
+
+// TestRingReplicaSets: Placement returns distinct members, owner first,
+// clamped to the cluster size.
+func TestRingReplicaSets(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Placement("k", 2); got != nil {
+		t.Fatalf("empty ring placement = %v", got)
+	}
+	r.Add("n1")
+	r.Add("n2")
+	for _, k := range ringKeys(200) {
+		p := r.Placement(k, 5)
+		if len(p) != 2 || p[0] == p[1] {
+			t.Fatalf("placement %v, want 2 distinct members", p)
+		}
+		if p[0] != r.Owner(k) {
+			t.Fatalf("placement head %s != owner %s", p[0], r.Owner(k))
+		}
+	}
+}

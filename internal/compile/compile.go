@@ -9,9 +9,9 @@
 // the per-pattern work (parse → rewrite → mode decision → automaton
 // build) out across a bounded worker pool and produces deterministic,
 // order-preserving Results with typed per-pattern diagnostics (Diag).
-// Which Fig 9 routes are open is an Options.ModePolicy; the historical
-// CompileAllNFA/CompileNoLNFA entry points survive as deprecated
-// wrappers over ForceNFA/AllowNBVA policies.
+// Which Fig 9 routes are open is an Options.ModePolicy: ForceNFA for
+// the paper's NFA mode, AllowNBVA/AllowLNFA to open the rewriting
+// routes selectively, AllowAll for the full decision graph.
 package compile
 
 import (
@@ -256,23 +256,6 @@ func (r *Result) ModeShares() map[Mode]float64 {
 		out[m] = float64(c) / float64(total)
 	}
 	return out
-}
-
-// CompileAllNFA compiles every pattern as a basic Glushkov NFA.
-//
-// Deprecated: use Compile with Options.ModePolicy = ForceNFA.
-func CompileAllNFA(patterns []string, opts Options) *Result {
-	opts.ModePolicy = ForceNFA
-	return Compile(patterns, opts)
-}
-
-// CompileNoLNFA compiles with the LNFA route disabled: NBVA for large
-// bounded repetitions, NFA otherwise.
-//
-// Deprecated: use Compile with Options.ModePolicy = AllowNBVA.
-func CompileNoLNFA(patterns []string, opts Options) *Result {
-	opts.ModePolicy = AllowNBVA
-	return Compile(patterns, opts)
 }
 
 // FromNFAs wraps pre-built homogeneous NFAs (e.g. imported from MNRL

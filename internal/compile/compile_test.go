@@ -174,8 +174,8 @@ func TestDecisionTrailPopulated(t *testing.T) {
 	}
 }
 
-func TestCompileAllNFAErrors(t *testing.T) {
-	res := CompileAllNFA([]string{"(", "a{9999}", "ok"}, Options{})
+func TestForceNFAErrors(t *testing.T) {
+	res := Compile([]string{"(", "a{9999}", "ok"}, Options{ModePolicy: ForceNFA})
 	if len(res.Errors) != 2 {
 		t.Fatalf("errors = %v", res.Errors)
 	}
@@ -184,8 +184,8 @@ func TestCompileAllNFAErrors(t *testing.T) {
 	}
 }
 
-func TestCompileNoLNFAErrors(t *testing.T) {
-	res := CompileNoLNFA([]string{")", "abc", "x{100}"}, Options{})
+func TestAllowNBVAErrors(t *testing.T) {
+	res := Compile([]string{")", "abc", "x{100}"}, Options{ModePolicy: AllowNBVA})
 	if len(res.Errors) != 1 {
 		t.Fatalf("errors = %v", res.Errors)
 	}

@@ -28,7 +28,7 @@ func countReports(nfa *automata.NFA, input []byte) int {
 // shareAllNFA compiles everything as NFA and applies sharing.
 func shareAllNFA(t *testing.T, patterns []string) (*Result, *Result) {
 	t.Helper()
-	res := CompileAllNFA(patterns, Options{})
+	res := Compile(patterns, Options{ModePolicy: ForceNFA})
 	if len(res.Errors) != 0 {
 		t.Fatal(res.Errors[0])
 	}
@@ -105,7 +105,7 @@ func TestShareDuplicatePatternsReportTwice(t *testing.T) {
 }
 
 func TestShareAnchoredPassThrough(t *testing.T) {
-	res := CompileAllNFA([]string{"^abc", "abd", "abe"}, Options{})
+	res := Compile([]string{"^abc", "abd", "abe"}, Options{ModePolicy: ForceNFA})
 	shared, err := ShareNFAPrefixes(res, Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/pkg/rapclient"
+)
+
+const (
+	// clusterPrograms is the resident ruleset population: three times the
+	// per-node program cache, so one node can never hold the working set
+	// but three nodes exactly can.
+	clusterPrograms   = 12
+	clusterCacheSlots = 4
+	clusterNodes      = 3
+	// clusterMeasure is the timed window per side; long enough for the
+	// compile-churning baseline to complete a few full sweeps.
+	clusterMeasure = 1500 * time.Millisecond
+	// clusterDrivers is the closed-loop client count, identical on both
+	// sides (the baseline's three drivers all point at its single node).
+	clusterDrivers = 3
+)
+
+// clusterSide is what one timed side of the comparison measured.
+type clusterSide struct {
+	nodes   int
+	ok      int64
+	errs    int64
+	perSec  float64
+	repairs float64 // rap_node_repairs_total summed over the side's nodes
+	setup   time.Duration
+}
+
+// ClusterBench measures the cluster's aggregate capacity scaling on one
+// machine. CPU does not scale in this container, so the honest axis is
+// the program cache: 12 distinct rulesets are scanned round-robin
+// against nodes whose compiled-program LRU holds 4. A single node (run
+// as a 1-node cluster, so routing, catalog and the 404-repair path are
+// the same code) evicts and recompiles on every scan; a 3-node cluster
+// with single-replica placement shards 4 programs per node, the whole
+// working set stays compiled, and aggregate scan throughput must clear
+// 2x the baseline. `rapbench -exp cluster -json bench` archives the
+// result as BENCH_cluster.json.
+func ClusterBench(cfg Config) (*metrics.Table, error) {
+	cfg.setDefaults()
+	d, input, err := cfg.dataset("Snort")
+	if err != nil {
+		return nil, err
+	}
+	if len(input) > 2<<10 {
+		input = input[:2<<10] // scans must be cheap next to a compile
+	}
+	rulesets, ids := clusterRulesets(d.Patterns)
+
+	baseline, err := runClusterSide(1, rulesets, ids, input)
+	if err != nil {
+		return nil, err
+	}
+	sharded, err := runClusterSide(clusterNodes, rulesets, ids, input)
+	if err != nil {
+		return nil, err
+	}
+	speedup := 0.0
+	if baseline.perSec > 0 {
+		speedup = sharded.perSec / baseline.perSec
+	}
+
+	t := &metrics.Table{
+		Name: fmt.Sprintf(
+			"Cluster capacity scaling: %d programs round-robin, %d-slot per-node program cache, 1 worker/node (target >= 2x)",
+			clusterPrograms, clusterCacheSlots),
+		Header: []string{"Cluster", "Programs", "Cache/node", "Scans OK", "Errors",
+			"Agg scans/s", "Cache repairs", "Speedup"},
+	}
+	row := func(s clusterSide, speedup float64) {
+		t.AddRow(fmt.Sprintf("%d node(s)", s.nodes), clusterPrograms, clusterCacheSlots,
+			s.ok, s.errs, s.perSec, s.repairs, fmt.Sprintf("%.2fx", speedup))
+	}
+	row(baseline, 1)
+	row(sharded, speedup)
+	if err := cfg.saveTable(t, "cluster_bench.csv"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// clusterRulesets slices the dataset into clusterPrograms distinct
+// rulesets and salts each with a marker literal until ring placement is
+// perfectly balanced (clusterPrograms/clusterNodes programs per node),
+// so the comparison isolates cache capacity from vnode skew. Program
+// IDs are content hashes, so the IDs — and with them the placement —
+// are known before anything is compiled. Each ruleset takes ~48
+// patterns from a rotating offset (wrapping around the dataset): big
+// enough that recompiling one costs several scan round trips, which is
+// exactly the churn the cluster's aggregate cache makes go away.
+func clusterRulesets(patterns []string) ([][]string, []string) {
+	const chunk = 48
+	stride := len(patterns) / clusterPrograms
+	if stride < 1 {
+		stride = 1
+	}
+	ring := cluster.NewRing(0)
+	quota := map[string]int{}
+	for i := 0; i < clusterNodes; i++ {
+		id := fmt.Sprintf("c%d", i)
+		ring.Add(id)
+		quota[id] = clusterPrograms / clusterNodes
+	}
+	rulesets := make([][]string, 0, clusterPrograms)
+	ids := make([]string, 0, clusterPrograms)
+	salt := 0
+	for i := 0; i < clusterPrograms; i++ {
+		base := make([]string, 0, chunk)
+		for j := 0; j < chunk && j < len(patterns); j++ {
+			base = append(base, patterns[(i*stride+j)%len(patterns)])
+		}
+		for {
+			ps := append(append([]string(nil), base...), fmt.Sprintf("clusterbench%04d", salt))
+			salt++
+			id := service.ProgramKey(ps, service.CompileOptions{})
+			if owner := ring.Owner(id); quota[owner] > 0 {
+				quota[owner]--
+				rulesets = append(rulesets, ps)
+				ids = append(ids, id)
+				break
+			}
+		}
+	}
+	return rulesets, ids
+}
+
+// runClusterSide brings up an n-node cluster, compiles the rulesets
+// through a gateway, waits for placement to settle, and drives a timed
+// closed-loop round-robin scan load through every gateway.
+func runClusterSide(size int, rulesets [][]string, ids []string, payload []byte) (clusterSide, error) {
+	side := clusterSide{nodes: size}
+	t0 := time.Now()
+
+	// Seeds are needed before the nodes exist: real listeners first,
+	// delegating to whichever node is installed behind them.
+	nodes := make([]*cluster.Node, size)
+	servers := make([]*httptest.Server, size)
+	for i := range servers {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if nodes[i] == nil {
+				http.Error(w, "node starting", http.StatusServiceUnavailable)
+				return
+			}
+			nodes[i].Handler().ServeHTTP(w, r)
+		}))
+		defer servers[i].Close()
+	}
+	seeds := make([]string, size)
+	for i, s := range servers {
+		seeds[i] = s.URL
+	}
+	gossip := 50 * time.Millisecond
+	if size == 1 {
+		// One node has no peers to gossip with and cannot fit the
+		// catalog in its cache anyway; an idle reconciler keeps the
+		// background compile churn out of the baseline's measurement.
+		gossip = time.Hour
+	}
+	for i := range nodes {
+		n, err := cluster.NewNode(cluster.Config{
+			ID:             fmt.Sprintf("c%d", i),
+			Seeds:          seeds,
+			Replicas:       1,
+			HotScanRate:    -1, // fixed placement: fan-out off
+			GossipInterval: gossip,
+			Service: service.Config{
+				Workers:          1,
+				QueueDepth:       256,
+				ProgramCacheSize: clusterCacheSlots,
+			},
+		})
+		if err != nil {
+			return side, err
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	for i, n := range nodes {
+		n.Start(servers[i].URL)
+	}
+
+	waitUntil := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return nil
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return fmt.Errorf("cluster bench (%d nodes): timed out waiting for %s", size, what)
+	}
+	if err := waitUntil("ring convergence", func() bool {
+		for _, n := range nodes {
+			if n.Ring().Size() != size {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return side, err
+	}
+
+	gateway := rapclient.New(servers[0].URL, rapclient.WithRetries(2))
+	ctx := context.Background()
+	for i, rs := range rulesets {
+		prog, err := gateway.Compile(ctx, rs, nil)
+		if err != nil {
+			return side, fmt.Errorf("cluster bench: compile program %d: %w", i, err)
+		}
+		if prog.ID != ids[i] {
+			return side, fmt.Errorf("cluster bench: program %d compiled as %s, placement expected %s", i, prog.ID, ids[i])
+		}
+	}
+	if size > 1 {
+		if err := waitUntil("catalog convergence", func() bool {
+			for _, n := range nodes {
+				if n.Catalog().Len() != len(ids) {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return side, err
+		}
+	}
+	side.setup = time.Since(t0)
+
+	// Timed closed-loop drive: identical driver count on both sides,
+	// spread across the side's gateways. Each driver cycles its own
+	// residue class of the program list (driver g scans g, g+3, g+6,
+	// ...) so the drivers never chase each other through the same
+	// programs — the interleaved stream a node sees is the full
+	// population, not three copies of one sweep whose repairs the
+	// followers cache-hit on.
+	var ok, errs atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < clusterDrivers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := rapclient.New(servers[g%size].URL, rapclient.WithRetries(0))
+			for i := 0; time.Since(start) < clusterMeasure; i++ {
+				if _, err := cl.Scan(ctx, ids[(g+i*clusterDrivers)%len(ids)], payload); err != nil {
+					errs.Add(1)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	side.ok = ok.Load()
+	side.errs = errs.Load()
+	side.perSec = float64(side.ok) / elapsed.Seconds()
+	for _, s := range servers {
+		side.repairs += scrapeCounter(s.URL+"/metrics", "rap_node_repairs_total")
+	}
+	return side, nil
+}
+
+// scrapeCounter sums every sample of one metric family from a
+// Prometheus text exposition endpoint.
+func scrapeCounter(url, name string) float64 {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var total float64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue // a longer name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+			total += v
+		}
+	}
+	return total
+}

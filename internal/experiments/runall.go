@@ -7,7 +7,7 @@ import (
 )
 
 // Experiment names accepted by Run.
-var Names = []string{"fig1", "fig10a", "fig10b", "table2", "table3", "fig11", "fig12", "fig13", "table4", "ablation", "characterize", "flows", "reconfig", "service", "scan", "compile", "sfa", "qos", "slo"}
+var Names = []string{"fig1", "fig10a", "fig10b", "table2", "table3", "fig11", "fig12", "fig13", "table4", "ablation", "characterize", "flows", "reconfig", "service", "scan", "compile", "sfa", "qos", "slo", "cluster"}
 
 // Run dispatches one experiment by name.
 func Run(name string, cfg Config) (*metrics.Table, error) {
@@ -50,6 +50,8 @@ func Run(name string, cfg Config) (*metrics.Table, error) {
 		return QoSBench(cfg)
 	case "slo":
 		return SLOBench(cfg)
+	case "cluster":
+		return ClusterBench(cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
 	}

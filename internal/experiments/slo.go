@@ -1,11 +1,10 @@
 package experiments
 
 import (
-	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
-	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -16,6 +15,7 @@ import (
 	"repro/internal/refmatch"
 	"repro/internal/service"
 	"repro/internal/slo"
+	"repro/pkg/rapclient"
 )
 
 // sloPhaseDur is one load phase; long enough for the 2s fast window to
@@ -135,7 +135,6 @@ func SLOBench(cfg Config) (*metrics.Table, error) {
 		if err != nil {
 			return ph, err
 		}
-		scanURL := srv.URL + "/v1/programs/" + prog.ID + "/scan"
 
 		if st, ok := svc.SLO().Status(slo.ObjectiveRequestLatency); ok {
 			ph.latFastLimit = st.FastLimit
@@ -143,9 +142,15 @@ func SLOBench(cfg Config) (*metrics.Table, error) {
 
 		// Paced open-loop clients: each fires on its own ticker so the
 		// aggregate offered rate holds even while responses are slow.
+		// Retries are off — a shed request must count as shed, not get
+		// silently replayed into the next tick's budget.
 		stop := make(chan struct{})
 		var wg sync.WaitGroup
 		launch := func(tenant string, rate float64, clients int) {
+			cl := rapclient.New(srv.URL,
+				rapclient.WithHTTPClient(client),
+				rapclient.WithTenant(tenant),
+				rapclient.WithRetries(0))
 			interval := time.Duration(float64(clients) / rate * float64(time.Second))
 			if interval <= 0 {
 				interval = time.Millisecond
@@ -162,18 +167,18 @@ func SLOBench(cfg Config) (*metrics.Table, error) {
 							return
 						case <-tick.C:
 						}
-						req, _ := http.NewRequest("POST", scanURL, bytes.NewReader(payload))
-						req.Header.Set("X-RAP-Tenant", tenant)
-						resp, err := client.Do(req)
-						if err != nil {
-							continue // server closing at phase end
-						}
-						io.Copy(io.Discard, resp.Body)
-						resp.Body.Close()
-						if resp.StatusCode == http.StatusOK {
+						_, err := cl.Scan(context.Background(), prog.ID, payload)
+						var apiErr *rapclient.APIError
+						switch {
+						case err == nil:
 							atomic.AddInt64(&ph.ok, 1)
-						} else {
+						case errors.As(err, &apiErr):
+							// Admission/backpressure rejections (429 is
+							// rapclient.ErrOverLimit) and any other typed
+							// API refusal count against the offered load.
 							atomic.AddInt64(&ph.rejected, 1)
+						default:
+							continue // transport error: server closing at phase end
 						}
 					}
 				}()

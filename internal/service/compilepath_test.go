@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestScanDuringSlowUpdate is the hot-path guarantee of the compile pool:
@@ -120,6 +121,9 @@ func TestVersionedHTTPSurface(t *testing.T) {
 	if d := resp.Header.Get("Deprecation"); d != "" {
 		t.Errorf("/v1 route carries Deprecation header %q", d)
 	}
+	if sun := resp.Header.Get("Sunset"); sun != "" {
+		t.Errorf("/v1 route carries Sunset header %q", sun)
+	}
 	var cr compileResponse
 	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
 		t.Fatal(err)
@@ -176,7 +180,9 @@ func TestVersionedHTTPSurface(t *testing.T) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
-	// Legacy unprefixed alias: same behavior, marked deprecated.
+	// Legacy unprefixed alias: same behavior, marked deprecated with the
+	// full Deprecation/Link/Sunset triple so clients can both discover
+	// the successor route and know the removal date.
 	resp = post("/programs/"+cr.ProgramID+"/scan", "application/octet-stream", []byte("the cat"))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("legacy POST /programs/{id}/scan: %d", resp.StatusCode)
@@ -187,6 +193,14 @@ func TestVersionedHTTPSurface(t *testing.T) {
 	wantLink := fmt.Sprintf("</v1/programs/%s/scan>; rel=%q", cr.ProgramID, "successor-version")
 	if l := resp.Header.Get("Link"); l != wantLink {
 		t.Errorf("legacy route Link header = %q, want %q", l, wantLink)
+	}
+	if sun := resp.Header.Get("Sunset"); sun != LegacySunset {
+		t.Errorf("legacy route Sunset header = %q, want %q", sun, LegacySunset)
+	}
+	if when, err := time.Parse(http.TimeFormat, LegacySunset); err != nil {
+		t.Errorf("LegacySunset %q is not an HTTP-date: %v", LegacySunset, err)
+	} else if !when.After(time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("LegacySunset %v already passed; move the removal date or delete the aliases", when)
 	}
 	sr = scanResponse{}
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {

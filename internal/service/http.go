@@ -131,13 +131,22 @@ func (s *Service) tenantMiddleware(next http.Handler) http.Handler {
 	})
 }
 
+// LegacySunset is the removal date of the unprefixed legacy routes,
+// served as an RFC 8594 Sunset header on every alias response. After
+// this date the aliases are deleted and only /v1 remains; clients
+// watching for the Deprecation/Link/Sunset triple have until then to
+// move (the README "API versioning" section documents the path).
+const LegacySunset = "Fri, 01 Jan 2027 00:00:00 GMT"
+
 // deprecatedAlias serves the legacy unprefixed API routes: identical
-// behavior, plus a Deprecation marker (RFC 9745) and a Link pointing
-// clients at the versioned successor route.
+// behavior, plus a Deprecation marker (RFC 9745), a Link pointing
+// clients at the versioned successor route, and a Sunset date (RFC
+// 8594) after which the aliases will be removed.
 func deprecatedAlias(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=%q", r.URL.Path, "successor-version"))
+		w.Header().Set("Sunset", LegacySunset)
 		next.ServeHTTP(w, r)
 	})
 }

@@ -80,6 +80,14 @@ func programKey(patterns []string, opts CompileOptions) string {
 	return core.HashStrings(opts.refmatch().Canonical(), patterns...)
 }
 
+// ProgramKey returns the content-hash program ID that Compile would
+// assign to (patterns, opts), without compiling. The cluster layer
+// routes placement decisions on this key before any node has built the
+// program, so every node derives identical IDs from the wire request.
+func ProgramKey(patterns []string, opts CompileOptions) string {
+	return programKey(patterns, opts)
+}
+
 // Program is one compiled, cached pattern set. The Matcher is immutable
 // after compilation and shared read-only by every scan and session, so a
 // Program needs no lock beyond the lazily-built deployment image; its

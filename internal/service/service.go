@@ -252,8 +252,13 @@ func (s *Service) cacheHealthProbe() slo.Probe {
 	}
 }
 
-// reconfigHealthProbe scores hot-swap stall pressure: the fraction of
-// modeled reload cycles spent stalling the match pipeline.
+// reconfigHealthProbe scores hot-swap stall pressure: the modeled
+// match-pipeline stall cycles against the reload cycles shipped. Tiny
+// deltas can legitimately stall for more cycles than they reload
+// (quiesce overhead dominates), so the ratio is clamped at 1 — stall
+// pressure alone bottoms out at "degraded" (0.5) and never marks a
+// node critical, which would wrongly fail /readyz (and cluster canary
+// health checks) after every small ruleset swap.
 func (s *Service) reconfigHealthProbe() slo.Probe {
 	return func() slo.Component {
 		reload := float64(s.updateReloadCycles.Value())
@@ -261,6 +266,9 @@ func (s *Service) reconfigHealthProbe() slo.Probe {
 		ratio := 0.0
 		if reload > 0 {
 			ratio = stall / reload
+			if ratio > 1 {
+				ratio = 1
+			}
 		}
 		return slo.ScoreComponent("reconfig", 1-0.5*ratio, map[string]float64{
 			"updates":       float64(s.updates.Value()),
